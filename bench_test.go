@@ -1,0 +1,310 @@
+// Benchmarks regenerating every reproduced table/figure (experiment ids
+// E1–E16 of DESIGN.md §4) plus ablations of the implementation's design
+// choices. Custom metrics report the quantities the paper's evaluation
+// is about (edges, rounds, transmissions) alongside time/op.
+package remspan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan"
+	"remspan/internal/baseline"
+	"remspan/internal/domtree"
+	"remspan/internal/dynamic"
+	"remspan/internal/expt"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+func benchCfg() expt.Config { return expt.Config{Quick: true, Seed: 1} }
+
+// runExperiment benchmarks a whole experiment driver end to end.
+func runExperiment(b *testing.B, id string) {
+	e, ok := expt.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B)           { runExperiment(b, "E1") }
+func BenchmarkTable1(b *testing.B)            { runExperiment(b, "E2") }
+func BenchmarkScalingUDG(b *testing.B)        { runExperiment(b, "E3") }
+func BenchmarkEpsilonSweep(b *testing.B)      { runExperiment(b, "E4") }
+func BenchmarkKConnSweep(b *testing.B)        { runExperiment(b, "E5") }
+func BenchmarkApproxRatio(b *testing.B)       { runExperiment(b, "E6") }
+func BenchmarkDistributedRounds(b *testing.B) { runExperiment(b, "E7") }
+func BenchmarkRoutingStretch(b *testing.B)    { runExperiment(b, "E8") }
+func BenchmarkMultipath(b *testing.B)         { runExperiment(b, "E9") }
+func BenchmarkFlooding(b *testing.B)          { runExperiment(b, "E10") }
+func BenchmarkFrontier(b *testing.B)          { runExperiment(b, "E11") }
+func BenchmarkEdgeConnecting(b *testing.B)    { runExperiment(b, "E12") }
+func BenchmarkLiveProtocol(b *testing.B)      { runExperiment(b, "E13") }
+func BenchmarkChurn(b *testing.B)             { runExperiment(b, "E14") }
+func BenchmarkWorstCase(b *testing.B)         { runExperiment(b, "E15") }
+func BenchmarkAsynchrony(b *testing.B)        { runExperiment(b, "E16") }
+
+// --- construction micro-benchmarks (the Table 1 structures) ---
+
+func benchUDG(b *testing.B, n int) *remspan.Graph {
+	b.Helper()
+	return remspan.RandomUDG(n, 4, 1)
+}
+
+func BenchmarkConstructExact(b *testing.B) {
+	g := benchUDG(b, 400)
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		edges = remspan.Exact(g).Edges()
+	}
+	b.ReportMetric(float64(edges), "edges")
+	b.ReportMetric(float64(g.M()), "graph-edges")
+}
+
+func BenchmarkConstructKConnecting3(b *testing.B) {
+	g := benchUDG(b, 400)
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		edges = remspan.KConnecting(g, 3).Edges()
+	}
+	b.ReportMetric(float64(edges), "edges")
+}
+
+func BenchmarkConstructTwoConnecting(b *testing.B) {
+	g := benchUDG(b, 400)
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		edges = remspan.TwoConnecting(g).Edges()
+	}
+	b.ReportMetric(float64(edges), "edges")
+}
+
+func BenchmarkConstructLowStretch(b *testing.B) {
+	g := benchUDG(b, 400)
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		edges = remspan.LowStretch(g, 0.5).Edges()
+	}
+	b.ReportMetric(float64(edges), "edges")
+}
+
+func BenchmarkConstructBaswanaSen(b *testing.B) {
+	gg := remspan.RandomUDG(400, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		edges = baseline.BaswanaSen(g, 3, rng).M()
+	}
+	b.ReportMetric(float64(edges), "edges")
+}
+
+func BenchmarkVerifyExactAllPairs(b *testing.B) {
+	g := benchUDG(b, 300)
+	s := remspan.Exact(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := remspan.Verify(g, s.H, s.Guarantee); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedProtocol(b *testing.B) {
+	g := benchUDG(b, 300)
+	b.ResetTimer()
+	var rounds int
+	var words int64
+	for i := 0; i < b.N; i++ {
+		res, err := remspan.RunDistributed(g, remspan.AlgoExact, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds, words = res.Rounds, res.Words
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+	b.ReportMetric(float64(words), "words")
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// Parallel per-node tree construction vs the serial loop.
+func BenchmarkAblationParallel(b *testing.B) {
+	gg := remspan.RandomUDG(500, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spanner.UnionSerial(g, func(u int, s *graph.BFSScratch) *graph.Tree {
+				return domtree.KGreedy(g, u, 1)
+			})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spanner.Exact(g)
+		}
+	})
+}
+
+// Reusable bounded-BFS scratch vs per-root allocation.
+func BenchmarkAblationScratch(b *testing.B) {
+	gg := remspan.RandomUDG(400, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.Run("shared-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := graph.NewBFSScratch(g.N())
+			for u := 0; u < g.N(); u++ {
+				domtree.MIS(g, s, u, 3)
+			}
+		}
+	})
+	b.Run("fresh-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u++ {
+				domtree.MIS(g, nil, u, 3)
+			}
+		}
+	})
+}
+
+// Greedy (Alg. 1) vs MIS (Alg. 2) dominating trees for the low-stretch
+// construction: the log Δ approximation guarantee vs the doubling-size
+// guarantee.
+func BenchmarkAblationGreedyVsMIS(b *testing.B) {
+	gg := remspan.RandomUDG(350, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.Run("greedy-trees", func(b *testing.B) {
+		var edges int
+		for i := 0; i < b.N; i++ {
+			edges = spanner.LowStretchGreedy(g, 0.5).Edges()
+		}
+		b.ReportMetric(float64(edges), "edges")
+	})
+	b.Run("mis-trees", func(b *testing.B) {
+		var edges int
+		for i := 0; i < b.N; i++ {
+			edges = spanner.LowStretch(g, 0.5).Edges()
+		}
+		b.ReportMetric(float64(edges), "edges")
+	})
+}
+
+// Incremental spanner maintenance vs full recomputation per change.
+func BenchmarkAblationIncremental(b *testing.B) {
+	gg := remspan.RandomUDG(400, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	build := func(h *graph.Graph, _ *graph.BFSScratch, u int) *graph.Tree {
+		return domtree.KGreedy(h, u, 1)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		m := dynamic.New(g, 1, build)
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v {
+				continue
+			}
+			if m.Graph().HasEdge(u, v) {
+				m.RemoveEdge(u, v)
+			} else {
+				m.AddEdge(u, v)
+			}
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		work := g.Clone()
+		rng := rand.New(rand.NewSource(2))
+		scratch := graph.NewBFSScratch(work.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u, v := rng.Intn(work.N()), rng.Intn(work.N())
+			if u == v {
+				continue
+			}
+			if work.HasEdge(u, v) {
+				work.RemoveEdge(u, v)
+			} else {
+				work.AddEdge(u, v)
+			}
+			es := graph.NewEdgeSet(work.N())
+			for w := 0; w < work.N(); w++ {
+				es.AddTree(build(work, scratch, w))
+			}
+		}
+	})
+}
+
+// Eager vs lazy (priority-queue) greedy k-cover selection.
+func BenchmarkAblationLazyGreedy(b *testing.B) {
+	gg := remspan.RandomUDG(500, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u += 7 {
+				domtree.KGreedy(g, u, 2)
+			}
+		}
+	})
+	b.Run("lazy-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u += 7 {
+				domtree.KGreedyLazy(g, u, 2)
+			}
+		}
+	})
+}
+
+// All-roots BFS sweep: mutable adjacency-list graph vs immutable CSR
+// snapshot (memory-layout ablation).
+func BenchmarkAblationCSR(b *testing.B) {
+	gg := remspan.RandomUDG(1200, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.Run("adjacency-list", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u += 3 {
+				graph.BFS(g, u)
+			}
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		c := graph.NewCSR(g)
+		dist := make([]int32, g.N())
+		queue := make([]int32, 0, g.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u += 3 {
+				c.BFS(u, dist, queue)
+			}
+		}
+	})
+}
+
+// UDG construction: grid buckets vs quadratic brute force.
+func BenchmarkAblationUDGGrid(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := geom.UniformBox(2000, 2, 10, rng)
+	b.Run("grid-buckets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			geom.UnitDiskGraph(pts, 1.0)
+		}
+	})
+	b.Run("brute-force", func(b *testing.B) {
+		m := geom.EuclideanMetric{Points: pts}
+		for i := 0; i < b.N; i++ {
+			geom.UnitBallGraph(m, 1.0)
+		}
+	})
+}

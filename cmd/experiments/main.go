@@ -1,0 +1,109 @@
+// Command experiments regenerates the paper's tables, figure and
+// quantitative claims (the experiment index of DESIGN.md §4).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run E3            # one experiment, full size
+//	experiments -all -quick        # everything at CI scale
+//	experiments -all -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"remspan/internal/expt"
+	"remspan/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		runID = flag.String("run", "", "run a single experiment by id (e.g. E3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		out   = flag.String("out", "", "also write output to this file")
+		csv   = flag.String("csv", "", "directory to write one CSV per experiment")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Fprintf(w, "%-4s %-45s reproduces %s\n", e.ID, e.Title, e.Ref)
+		}
+		return
+	}
+
+	cfg := expt.Config{Quick: *quick, Seed: *seed}
+	switch {
+	case *runID != "":
+		e, ok := expt.Lookup(*runID)
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", *runID)
+		}
+		fmt.Fprintf(w, "[%s] %s — reproduces %s\n", e.ID, e.Title, e.Ref)
+		t, err := e.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Fprint(w)
+		writeCSV(*csv, e.ID, t)
+	case *all:
+		if *csv == "" {
+			if err := expt.RunAll(cfg, w); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		for _, e := range expt.All() {
+			fmt.Fprintf(w, "\n[%s] %s — reproduces %s\n", e.ID, e.Title, e.Ref)
+			t, err := e.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.Fprint(w)
+			writeCSV(*csv, e.ID, t)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeCSV dumps one experiment table as CSV under dir (no-op when dir
+// is empty).
+func writeCSV(dir, id string, t *stats.Table) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+}

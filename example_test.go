@@ -1,0 +1,81 @@
+package remspan_test
+
+import (
+	"fmt"
+
+	"remspan"
+)
+
+// The fundamental object: a (1,0)-remote-spanner preserves exact
+// distances from every node's augmented viewpoint while dropping edges
+// a classical spanner would have to keep.
+func ExampleExact() {
+	// 6-cycle plus a chord.
+	g := remspan.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3},
+	})
+	s := remspan.Exact(g)
+	if err := remspan.VerifySpanner(g, s); err != nil {
+		fmt.Println("violation:", err)
+		return
+	}
+	fmt.Printf("guarantee %s holds with %d of %d edges\n",
+		s.Guarantee, s.Edges(), g.M())
+	// Output:
+	// guarantee (1, 0) holds with 5 of 7 edges
+}
+
+// Low-stretch remote-spanners trade a (1+ε, 1−2ε) guarantee for size;
+// ε is rounded down to ε' = 1/⌈1/ε⌉ so the guarantee is exact rational.
+func ExampleLowStretch() {
+	g := remspan.RandomUDG(200, 4, 7)
+	s := remspan.LowStretch(g, 0.5)
+	fmt.Println("radius:", s.Radius)
+	fmt.Println("guarantee:", s.Guarantee)
+	fmt.Println("valid:", remspan.Verify(g, s.H, s.Guarantee) == nil)
+	// Output:
+	// radius: 3
+	// guarantee: (3/2, 0)
+	// valid: true
+}
+
+// d^k distances: the paper's multi-connectivity measure (minimum total
+// length of k internally disjoint paths).
+func ExampleDisjointPathDistance() {
+	g := remspan.Ring(8)
+	fmt.Println("d^1(0,4):", remspan.DisjointPathDistance(g, 0, 4, 1))
+	fmt.Println("d^2(0,4):", remspan.DisjointPathDistance(g, 0, 4, 2))
+	fmt.Println("d^3(0,4):", remspan.DisjointPathDistance(g, 0, 4, 3))
+	// Output:
+	// d^1(0,4): 4
+	// d^2(0,4): 8
+	// d^3(0,4): -1
+}
+
+// TwoConnecting spanners keep two disjoint routes alive for every
+// 2-connected pair — multipath routing material.
+func ExampleTwoConnecting() {
+	g := remspan.Ring(10)
+	s := remspan.TwoConnecting(g)
+	paths, total, ok := remspan.MultipathRoutes(g, s.H, 0, 5, 2)
+	fmt.Println("routes:", len(paths), "total length:", total, "ok:", ok)
+	// Output:
+	// routes: 2 total length: 10 ok: true
+}
+
+// The distributed protocol computes the same spanner in a constant
+// number of synchronous rounds.
+func ExampleRunDistributed() {
+	g := remspan.RandomUDG(150, 3, 3)
+	res, err := remspan.RunDistributed(g, remspan.AlgoExact, 0, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	centralized := remspan.Exact(g)
+	fmt.Println("rounds:", res.Rounds)
+	fmt.Println("matches centralized:", res.H.M() == centralized.Edges())
+	// Output:
+	// rounds: 3
+	// matches centralized: true
+}

@@ -1,0 +1,34 @@
+// OLSR-style optimized flooding: the paper shows multipoint relays are
+// exactly (2,0)-dominating trees, and their union a (1,0)-remote-
+// spanner. This example measures how many retransmissions MPR flooding
+// saves over blind flooding on increasingly dense networks, and how
+// k-coverage (k-connecting trees) trades a few extra relays for
+// broadcast redundancy.
+package main
+
+import (
+	"fmt"
+
+	"remspan"
+)
+
+func main() {
+	fmt.Printf("%8s %8s %10s %12s %12s %12s\n",
+		"nodes", "links", "blind tx", "MPR k=1 tx", "MPR k=2 tx", "saving k=1")
+	for i, n := range []int{150, 300, 600} {
+		g := remspan.RandomUDG(n, 4, int64(100+i))
+		src := 0
+		mpr1, blind, cov1 := remspan.FloodStats(g, 1, src)
+		mpr2, _, cov2 := remspan.FloodStats(g, 2, src)
+		if cov1 != g.N() || cov2 != g.N() {
+			fmt.Printf("coverage failure: %d/%d, %d/%d\n", cov1, g.N(), cov2, g.N())
+			continue
+		}
+		fmt.Printf("%8d %8d %10d %12d %12d %11.1f%%\n",
+			g.N(), g.M(), blind, mpr1, mpr2,
+			100*(1-float64(mpr1)/float64(blind)))
+	}
+	fmt.Println("\nblind flooding retransmits at every node; MPR flooding only at")
+	fmt.Println("designated relays, yet the broadcast still reaches everyone —")
+	fmt.Println("the denser the network, the bigger the saving.")
+}

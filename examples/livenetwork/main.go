@@ -1,0 +1,71 @@
+// Live network: a full OLSR-style protocol run with moving nodes. Every
+// router periodically exchanges HELLOs, selects multipoint relays
+// (Algorithm 4 of the paper — a (2,0)-dominating tree), and floods TC
+// messages carrying its relay links: the network-wide union of those
+// links is exactly the paper's (1,0)-remote-spanner, maintained live.
+//
+// The example reports, while the network moves, how the data plane
+// (delivery ratio, route stretch) and control plane (messages) behave —
+// the paper's §2.3 "periodic asynchronous operation" remark in action.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"remspan/internal/mobility"
+	"remspan/internal/olsr"
+)
+
+func main() {
+	const (
+		nodes  = 200
+		side   = 4.0
+		radius = 1.2
+	)
+	rng := rand.New(rand.NewSource(11))
+	w := mobility.NewWaypoint(nodes, side, 0.004, 0.02, rng)
+	sim := olsr.New(w.Graph(radius), olsr.DefaultParams())
+
+	// Cold start: run until routing converges.
+	pairs := make([][2]int, 60)
+	prng := rand.New(rand.NewSource(12))
+	for i := range pairs {
+		pairs[i] = [2]int{prng.Intn(nodes), prng.Intn(nodes)}
+	}
+	tick := 0
+	for ; tick < 60; tick++ {
+		sim.Tick()
+		if sim.Converged(pairs) {
+			break
+		}
+	}
+	fmt.Printf("cold start: converged after %d ticks\n", tick+1)
+	fmt.Printf("advertised links: %d (physical links: %d)\n\n",
+		sim.AdvertisedSpanner().Len(), currentLinks(w, radius))
+
+	fmt.Printf("%6s %10s %10s %12s %12s %12s\n",
+		"tick", "links", "advert.", "delivered", "max stretch", "ctrl msgs")
+	last := sim.Stats()
+	for step := 1; step <= 50; step++ {
+		w.Step()
+		sim.SetGraph(w.Graph(radius))
+		sim.Tick()
+		if step%10 != 0 {
+			continue
+		}
+		rep := sim.RouteCheck(pairs)
+		st := sim.Stats()
+		fmt.Printf("%6d %10d %10d %9d/%-3d %12.2f %12d\n",
+			step, currentLinks(w, radius), sim.AdvertisedSpanner().Len(),
+			rep.Delivered, rep.Checked, rep.MaxStretch,
+			(st.HelloTx+st.TCTx)-(last.HelloTx+last.TCTx))
+		last = st
+	}
+	fmt.Println("\nthe advertised remote-spanner tracks the moving topology;")
+	fmt.Println("routes stay near-shortest with a fraction of full link-state traffic.")
+}
+
+func currentLinks(w *mobility.Waypoint, radius float64) int {
+	return w.Graph(radius).M()
+}

@@ -1,0 +1,65 @@
+// Multipath fault tolerance: the 2-connecting (2,−1)-remote-spanner of
+// Theorem 3 keeps two internally disjoint routes between every
+// 2-connected pair, so traffic survives any single relay failure —
+// with the total length of both paths within a factor 2 of optimal.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"remspan"
+)
+
+func main() {
+	g := remspan.RandomUDG(300, 3, 21)
+	fmt.Printf("network: %d nodes, %d links\n", g.N(), g.M())
+
+	s := remspan.TwoConnecting(g)
+	fmt.Printf("2-connecting (2,-1)-remote-spanner: %d links (%.1f%% of topology)\n\n",
+		s.Edges(), 100*float64(s.Edges())/float64(g.M()))
+
+	rng := rand.New(rand.NewSource(5))
+	shown, survived, trials := 0, 0, 0
+	for i := 0; i < 4000 && trials < 50; i++ {
+		src, dst := rng.Intn(g.N()), rng.Intn(g.N())
+		if src == dst || g.HasEdge(src, dst) {
+			continue
+		}
+		// Eligible only if G itself has 2 disjoint paths.
+		dG := remspan.DisjointPathDistance(g, src, dst, 2)
+		if dG < 0 {
+			continue
+		}
+		trials++
+		paths, total, ok := remspan.MultipathRoutes(g, s.H, src, dst, 2)
+		if !ok {
+			fmt.Printf("pair (%d,%d): 2-connectivity LOST — should never happen\n", src, dst)
+			continue
+		}
+		// Fail the first relay of the primary path; the secondary is
+		// disjoint, so it must still work.
+		primary, secondary := paths[0], paths[1]
+		failedRelay := -1
+		if len(primary) > 2 {
+			failedRelay = primary[1]
+		}
+		usable := true
+		for _, v := range secondary[1 : len(secondary)-1] {
+			if v == failedRelay {
+				usable = false
+			}
+		}
+		if usable {
+			survived++
+		}
+		if shown < 5 {
+			fmt.Printf("pair (%3d,%3d): d²_G=%2d  d²_H=%2d (bound %2d)  primary %v  backup %v\n",
+				src, dst, dG, total, 2*dG-2, primary, secondary)
+			shown++
+		}
+	}
+	fmt.Printf("\n%d/%d pairs kept a working backup route after a primary-relay failure\n",
+		survived, trials)
+	fmt.Println("(disjointness makes this structural, not probabilistic)")
+}

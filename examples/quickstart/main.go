@@ -1,0 +1,47 @@
+// Quickstart: build an ad-hoc network, compute an exact-distance
+// (1,0)-remote-spanner, and verify that every node's augmented view
+// preserves shortest paths while advertising far fewer links.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remspan"
+)
+
+func main() {
+	// A random unit-disk network: ~300 radios on a 4×4 field with unit
+	// communication range (the paper's ad-hoc network model).
+	g := remspan.RandomUDG(300, 4, 42)
+	fmt.Printf("network: %d nodes, %d links, max degree %d\n", g.N(), g.M(), g.MaxDegree())
+
+	// The (1,0)-remote-spanner: exact distances from every node's own
+	// viewpoint, even though most links are never advertised.
+	s := remspan.Exact(g)
+	fmt.Printf("remote-spanner: %d links advertised (%.1f%% of the topology)\n",
+		s.Edges(), 100*float64(s.Edges())/float64(g.M()))
+
+	// Verify the guarantee exactly — every pair, integer arithmetic.
+	if err := remspan.VerifySpanner(g, s); err != nil {
+		log.Fatalf("guarantee violated: %v", err)
+	}
+	fmt.Printf("verified: d_{H_u}(u,v) = d_G(u,v) for all %d ordered pairs\n",
+		g.N()*(g.N()-1))
+
+	// Route a packet with greedy link-state forwarding over the spanner
+	// to the node farthest from 0.
+	src, dst := 0, 0
+	for v := 0; v < g.N(); v++ {
+		if g.Distance(src, v) > g.Distance(src, dst) {
+			dst = v
+		}
+	}
+	path, ok := remspan.Route(g, s.H, src, dst)
+	if !ok {
+		log.Fatal("routing failed")
+	}
+	fmt.Printf("greedy route %d→%d: %d hops (shortest possible: %d)\n",
+		src, dst, len(path)-1, g.Distance(src, dst))
+	fmt.Printf("path: %v\n", path)
+}

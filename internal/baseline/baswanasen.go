@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"remspan/internal/graph"
+)
+
+// BaswanaSen returns a (2k−1, 0)-spanner of g with O(k·n^{1+1/k})
+// expected edges, using the randomized clustering algorithm of Baswana
+// & Sen (unweighted specialization). The construction is exact: the
+// output always satisfies the stretch bound; only its size is random.
+func BaswanaSen(g *graph.Graph, k int, rng *rand.Rand) *graph.Graph {
+	if k < 1 {
+		panic("baseline: k must be >= 1")
+	}
+	n := g.N()
+	h := graph.New(n)
+	if k == 1 {
+		// (1, 0)-spanner: all edges.
+		g.EachEdge(func(u, v int) { h.AddEdge(u, v) })
+		return h
+	}
+
+	// remaining[u] = set of still-unprocessed edges of u.
+	remaining := make([]map[int32]bool, n)
+	for u := 0; u < n; u++ {
+		remaining[u] = make(map[int32]bool, g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			remaining[u][v] = true
+		}
+	}
+	dropEdge := func(u int, v int32) {
+		delete(remaining[u], v)
+		delete(remaining[v], int32(u))
+	}
+
+	// cluster[v] = center of v's cluster, or -1 once v is settled.
+	cluster := make([]int32, n)
+	for v := range cluster {
+		cluster[v] = int32(v)
+	}
+	p := math.Pow(float64(n), -1.0/float64(k))
+
+	for i := 1; i <= k-1; i++ {
+		// Sample the surviving cluster centers. Centers are visited in
+		// sorted order so a seeded RNG reproduces the same spanner.
+		sampled := make(map[int32]bool)
+		centerSet := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			if cluster[v] >= 0 {
+				centerSet[cluster[v]] = true
+			}
+		}
+		centers := make([]int32, 0, len(centerSet))
+		for c := range centerSet {
+			centers = append(centers, c)
+		}
+		sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
+		for _, c := range centers {
+			if rng.Float64() < p {
+				sampled[c] = true
+			}
+		}
+
+		next := make([]int32, n)
+		copy(next, cluster)
+		for v := 0; v < n; v++ {
+			if cluster[v] < 0 || sampled[cluster[v]] {
+				continue // settled, or cluster survives as-is
+			}
+			// Group v's remaining edges by the neighbor's cluster.
+			// Deterministic representative: smallest neighbor id.
+			rep := make(map[int32]int32)
+			for w := range remaining[v] {
+				cw := cluster[w]
+				if cw < 0 {
+					continue
+				}
+				if r, ok := rep[cw]; !ok || w < r {
+					rep[cw] = w
+				}
+			}
+			// Find a sampled adjacent cluster (smallest center id).
+			best := int32(-1)
+			for c := range rep {
+				if sampled[c] && (best == -1 || c < best) {
+					best = c
+				}
+			}
+			if best >= 0 {
+				w := rep[best]
+				h.AddEdge(v, int(w))
+				next[v] = best
+				// Edges into the new cluster are now intra-cluster.
+				for x := range remaining[v] {
+					if cluster[x] == best {
+						dropEdge(v, x)
+					}
+				}
+			} else {
+				// No sampled neighbor cluster: connect once to every
+				// adjacent cluster and settle v.
+				for _, w := range sortedVals(rep) {
+					h.AddEdge(v, int(w))
+				}
+				for x := range remaining[v] {
+					dropEdge(v, x)
+				}
+				next[v] = -1
+			}
+		}
+		cluster = next
+		// Remove intra-cluster edges.
+		for u := 0; u < n; u++ {
+			for v := range remaining[u] {
+				if int32(u) < v && cluster[u] >= 0 && cluster[u] == cluster[v] {
+					dropEdge(u, v)
+				}
+			}
+		}
+	}
+
+	// Phase 2: vertex–cluster joining over the remaining edges.
+	for v := 0; v < n; v++ {
+		rep := make(map[int32]int32)
+		for w := range remaining[v] {
+			cw := cluster[w]
+			if cw < 0 {
+				continue
+			}
+			if r, ok := rep[cw]; !ok || w < r {
+				rep[cw] = w
+			}
+		}
+		for _, w := range sortedVals(rep) {
+			h.AddEdge(v, int(w))
+			dropEdge(v, w)
+		}
+	}
+	return h
+}
+
+func sortedVals(m map[int32]int32) []int32 {
+	out := make([]int32, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,84 @@
+package distsim
+
+import (
+	"testing"
+
+	"remspan/internal/domtree"
+	"remspan/internal/gen"
+	"remspan/internal/graph"
+)
+
+// Exact traffic accounting on a fixed small topology: the 5-cycle with
+// MPR trees (radius 1).
+func TestRemSpanAccountingOnRing(t *testing.T) {
+	g := gen.Ring(5)
+	res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KGreedy(local, u, 1)
+	})
+	// Rounds: hello + 1 topo + 1 tree = 3.
+	if res.Rounds != 3 {
+		t.Fatalf("rounds=%d", res.Rounds)
+	}
+	// Hello: every node to both neighbors = 10 messages.
+	// Topo: each node floods its own list once: 10 messages.
+	// Tree: each node floods its tree once: 10 messages.
+	if res.Messages != 30 {
+		t.Fatalf("messages=%d, want 30", res.Messages)
+	}
+	// On a cycle every node's MPR tree must cover both distance-2
+	// vertices → both neighbors selected → spanner = all 5 edges.
+	if res.H.Len() != 5 {
+		t.Fatalf("spanner edges=%d, want 5", res.H.Len())
+	}
+	if bad := CheckIncidentKnowledge(res); bad != -1 {
+		t.Fatalf("node %d lacks incident knowledge", bad)
+	}
+}
+
+// Radius-2 flooding doubles the topo/tree rounds and grows messages
+// accordingly (each item forwarded by the two distance-1 nodes too).
+func TestRemSpanAccountingRadius2(t *testing.T) {
+	g := gen.Ring(6)
+	res := RunRemSpan(g, 2, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KMIS(local, u, 1)
+	})
+	if res.Rounds != 5 {
+		t.Fatalf("rounds=%d, want 5", res.Rounds)
+	}
+	// Topo flooding radius 2 on a cycle: each of the 6 lists is sent by
+	// its origin (2 msgs) and forwarded by 2 neighbors (2×2 msgs) = 36
+	// total; hello adds 12; trees flood like topo.
+	wantHello := int64(12)
+	wantTopo := int64(6 * (2 + 4))
+	wantTree := int64(6 * (2 + 4))
+	if res.Messages != wantHello+wantTopo+wantTree {
+		t.Fatalf("messages=%d, want %d", res.Messages, wantHello+wantTopo+wantTree)
+	}
+}
+
+// Words must strictly exceed messages (every payload has ≥1 word plus
+// framing).
+func TestWordsDominateMessages(t *testing.T) {
+	g := gen.Grid(4, 4)
+	res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KGreedy(local, u, 1)
+	})
+	if res.Words <= res.Messages {
+		t.Fatalf("words=%d should exceed messages=%d", res.Words, res.Messages)
+	}
+}
+
+// The local views built from flooded lists must suffice: running on a
+// path (where distance-2 knowledge is one-sided at the ends) still
+// matches the centralized result.
+func TestRemSpanOnPathEdges(t *testing.T) {
+	g := gen.Path(7)
+	res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KGreedy(local, u, 1)
+	})
+	// On a path, every internal node is the unique relay for its
+	// neighbors: spanner = all edges.
+	if res.H.Len() != 6 {
+		t.Fatalf("path spanner edges=%d, want 6", res.H.Len())
+	}
+}

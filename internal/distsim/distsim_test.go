@@ -1,0 +1,187 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/domtree"
+	"remspan/internal/gen"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+func randomConnected(n, extra int, rng *rand.Rand) *graph.Graph {
+	g := gen.RandomTree(n, rng)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestSimSendRules(t *testing.T) {
+	g := gen.Path(3)
+	s := NewSim(g)
+	s.Send(0, 1, KindHello, []int32{0})
+	if s.Messages != 1 || s.Words != 3 {
+		t.Fatalf("messages=%d words=%d", s.Messages, s.Words)
+	}
+	in := s.Step()
+	if len(in[1]) != 1 || in[1][0].From != 0 {
+		t.Fatal("message not delivered")
+	}
+	if s.Round != 1 {
+		t.Fatalf("round=%d", s.Round)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-link send")
+		}
+	}()
+	s.Send(0, 2, KindHello, nil)
+}
+
+func TestSimBroadcast(t *testing.T) {
+	g := gen.Star(5)
+	s := NewSim(g)
+	s.Broadcast(0, KindHello, []int32{0})
+	if s.Messages != 4 {
+		t.Fatalf("messages=%d, want 4", s.Messages)
+	}
+	in := s.Step()
+	for v := 1; v < 5; v++ {
+		if len(in[v]) != 1 {
+			t.Fatalf("leaf %d got %d messages", v, len(in[v]))
+		}
+	}
+}
+
+func TestRemSpanMatchesCentralizedMPR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(15+rng.Intn(25), 40, rng)
+		res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+			return domtree.KGreedy(local, u, 1)
+		})
+		want := spanner.Exact(g)
+		if res.H.Len() != want.Edges() {
+			t.Fatalf("trial %d: distributed %d edges, centralized %d",
+				trial, res.H.Len(), want.Edges())
+		}
+		de, ce := res.H.Edges(), want.H.Edges()
+		for i := range de {
+			if de[i] != ce[i] {
+				t.Fatalf("trial %d: edge sets differ at %d", trial, i)
+			}
+		}
+		if res.Rounds != 3 { // 2(r−1+β)+1 with r=2, β=0
+			t.Fatalf("rounds=%d, want 3", res.Rounds)
+		}
+	}
+}
+
+func TestRemSpanMatchesCentralizedLowStretch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		g := randomConnected(20+rng.Intn(20), 40, rng)
+		r := 3 // eps = 0.5
+		res := RunRemSpan(g, r, func(local *graph.Graph, u int) *graph.Tree {
+			return domtree.MIS(local, nil, u, r)
+		})
+		want := spanner.LowStretch(g, 0.5)
+		if res.H.Len() != want.Edges() {
+			t.Fatalf("trial %d: distributed %d edges, centralized %d",
+				trial, res.H.Len(), want.Edges())
+		}
+		if res.Rounds != 2*r+1 {
+			t.Fatalf("rounds=%d, want %d", res.Rounds, 2*r+1)
+		}
+	}
+}
+
+func TestRemSpanMatchesCentralizedTwoConnecting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(30, 60, rng)
+	res := RunRemSpan(g, 2, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KMIS(local, u, 2)
+	})
+	want := spanner.TwoConnecting(g)
+	if res.H.Len() != want.Edges() {
+		t.Fatalf("distributed %d edges, centralized %d", res.H.Len(), want.Edges())
+	}
+	if res.Rounds != 5 { // 2(2-1+1)+1
+		t.Fatalf("rounds=%d, want 5", res.Rounds)
+	}
+}
+
+func TestIncidentKnowledge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		g := randomConnected(15+rng.Intn(20), 35, rng)
+		res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+			return domtree.KGreedy(local, u, 2)
+		})
+		if bad := CheckIncidentKnowledge(res); bad != -1 {
+			t.Fatalf("trial %d: node %d missing incident knowledge", trial, bad)
+		}
+	}
+}
+
+func TestConstantRounds(t *testing.T) {
+	// Rounds must not grow with n — the paper's headline claim.
+	rng := rand.New(rand.NewSource(5))
+	var rounds []int
+	for _, n := range []int{20, 60, 140} {
+		pts := geom.UniformBox(n, 2, 3, rng)
+		g := geom.UnitDiskGraph(pts, 1.2)
+		keep, _ := graph.LargestComponent(g)
+		g = g.InducedSubgraph(keep)
+		if g.N() < 5 {
+			t.Skip("degenerate UDG")
+		}
+		res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+			return domtree.KGreedy(local, u, 1)
+		})
+		rounds = append(rounds, res.Rounds)
+	}
+	for _, r := range rounds {
+		if r != rounds[0] {
+			t.Fatalf("rounds vary with n: %v", rounds)
+		}
+	}
+}
+
+func TestRemSpanCheaperThanFullLinkState(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := geom.UniformBox(150, 2, 3, rng)
+	g := geom.UnitDiskGraph(pts, 1.0)
+	keep, _ := graph.LargestComponent(g)
+	g = g.InducedSubgraph(keep)
+	res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KGreedy(local, u, 1)
+	})
+	_, fullWords := FullLinkState(g)
+	if res.Words >= fullWords {
+		t.Fatalf("RemSpan words %d not below full link-state %d", res.Words, fullWords)
+	}
+}
+
+func TestTreeFloodReachesAllMembers(t *testing.T) {
+	// Every tree edge endpoint lies within the flooding radius of the
+	// root, so the Incident sets must cover the entire union H.
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(25, 50, rng)
+	res := RunRemSpan(g, 2, func(local *graph.Graph, u int) *graph.Tree {
+		return domtree.KMIS(local, u, 2)
+	})
+	union := graph.NewEdgeSet(g.N())
+	for _, inc := range res.Incident {
+		union.Union(inc)
+	}
+	if union.Len() != res.H.Len() {
+		t.Fatalf("incident union %d edges, spanner %d", union.Len(), res.H.Len())
+	}
+}

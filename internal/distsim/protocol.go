@@ -1,0 +1,227 @@
+package distsim
+
+import (
+	"remspan/internal/graph"
+)
+
+// TreeAlgo computes a dominating tree for root u from u's local
+// topology knowledge (the adjacency lists of every node within the
+// flooding radius). The tree algorithms of package domtree satisfy the
+// locality contract: they only query adjacency inside that ball.
+type TreeAlgo func(local *graph.Graph, u int) *graph.Tree
+
+// Result summarizes a distributed RemSpan run.
+type Result struct {
+	Rounds    int              // total synchronous rounds: 2(r−1+β)+1
+	Messages  int64            // point-to-point messages sent
+	Words     int64            // total payload words sent
+	H         *graph.EdgeSet   // the computed remote-spanner (union of trees)
+	TreeEdges []int            // per-root tree sizes
+	Incident  []*graph.EdgeSet // per node: spanner edges it learned it belongs to
+}
+
+// nodeState is the per-node protocol state of RemSpan.
+type nodeState struct {
+	id        int
+	neighbors []int32            // learned in the hello round
+	known     map[int32][]int32  // source → its neighbor list
+	fresh     []int32            // sources learned last round, to forward
+	seenTree  map[int32]struct{} // tree roots already forwarded
+	freshTree [][]int32          // tree payloads learned last round
+	incident  *graph.EdgeSet     // spanner edges this node learned it is part of
+}
+
+// RunRemSpan executes Algorithm 3 on every node of g simultaneously:
+//
+//	round 1:            hello — send own id on every link
+//	rounds 2..R+1:      flood neighbor lists to radius R = r−1+β
+//	(local)             compute the dominating tree from the local view
+//	rounds R+2..2R+1:   flood the tree to radius R
+//
+// The returned spanner is the union of all trees; it equals the
+// centralized construction because the tree algorithms are local.
+func RunRemSpan(g *graph.Graph, radius int, algo TreeAlgo) *Result {
+	if radius < 1 {
+		panic("distsim: flooding radius must be >= 1")
+	}
+	n := g.N()
+	sim := NewSim(g)
+	nodes := make([]*nodeState, n)
+	for u := 0; u < n; u++ {
+		nodes[u] = &nodeState{
+			id:       u,
+			known:    make(map[int32][]int32),
+			seenTree: make(map[int32]struct{}),
+			incident: graph.NewEdgeSet(n),
+		}
+	}
+
+	// Round 1: hello.
+	for u := 0; u < n; u++ {
+		sim.Broadcast(u, KindHello, []int32{int32(u)})
+	}
+	inbox := sim.Step()
+	for u := 0; u < n; u++ {
+		st := nodes[u]
+		for _, m := range inbox[u] {
+			st.neighbors = append(st.neighbors, m.Words[0])
+		}
+		// Own list is known and fresh for the first topology round.
+		st.known[int32(u)] = st.neighbors
+		st.fresh = []int32{int32(u)}
+	}
+
+	// Rounds 2..R+1: topology flooding with duplicate suppression.
+	for t := 0; t < radius; t++ {
+		for u := 0; u < n; u++ {
+			st := nodes[u]
+			for _, src := range st.fresh {
+				list := st.known[src]
+				payload := make([]int32, 0, len(list)+2)
+				payload = append(payload, src, int32(len(list)))
+				payload = append(payload, list...)
+				sim.Broadcast(u, KindTopo, payload)
+			}
+			st.fresh = nil
+		}
+		inbox = sim.Step()
+		for u := 0; u < n; u++ {
+			st := nodes[u]
+			for _, m := range inbox[u] {
+				src := m.Words[0]
+				if _, ok := st.known[src]; ok {
+					continue
+				}
+				deg := int(m.Words[1])
+				st.known[src] = m.Words[2 : 2+deg]
+				st.fresh = append(st.fresh, src)
+			}
+		}
+	}
+
+	// Local computation: build the local view and run the tree
+	// algorithm. The local graph contains every edge incident to a
+	// known source (edges to fringe nodes are known one-sided).
+	trees := make([]*graph.Tree, n)
+	sizes := make([]int, n)
+	h := graph.NewEdgeSet(n)
+	for u := 0; u < n; u++ {
+		local := graph.New(n)
+		for src, list := range nodes[u].known {
+			for _, v := range list {
+				local.AddEdge(int(src), int(v))
+			}
+		}
+		t := algo(local, u)
+		trees[u] = t
+		sizes[u] = t.EdgeCount()
+		h.AddTree(t)
+	}
+
+	// Rounds R+2..2R+1: tree flooding.
+	for u := 0; u < n; u++ {
+		t := trees[u]
+		payload := make([]int32, 0, 2+2*t.EdgeCount())
+		payload = append(payload, int32(u), int32(t.EdgeCount()))
+		for _, e := range t.Edges() {
+			payload = append(payload, e[0], e[1])
+		}
+		nodes[u].freshTree = [][]int32{payload}
+		nodes[u].seenTree[int32(u)] = struct{}{}
+		nodes[u].noteTree(payload)
+	}
+	for t := 0; t < radius; t++ {
+		for u := 0; u < n; u++ {
+			st := nodes[u]
+			for _, payload := range st.freshTree {
+				sim.Broadcast(u, KindTree, payload)
+			}
+			st.freshTree = nil
+		}
+		inbox = sim.Step()
+		for u := 0; u < n; u++ {
+			st := nodes[u]
+			for _, m := range inbox[u] {
+				root := m.Words[0]
+				if _, ok := st.seenTree[root]; ok {
+					continue
+				}
+				st.seenTree[root] = struct{}{}
+				st.freshTree = append(st.freshTree, m.Words)
+				st.noteTree(m.Words)
+			}
+		}
+	}
+
+	incident := make([]*graph.EdgeSet, n)
+	for u := 0; u < n; u++ {
+		incident[u] = nodes[u].incident
+	}
+	return &Result{
+		Rounds:    sim.Round,
+		Messages:  sim.Messages,
+		Words:     sim.Words,
+		H:         h,
+		TreeEdges: sizes,
+		Incident:  incident,
+	}
+}
+
+// CheckIncidentKnowledge verifies the protocol's correctness condition:
+// every node ends up knowing exactly the spanner edges incident to it,
+// so it can advertise/route over them. Returns the first offending node
+// (-1 when the condition holds).
+func CheckIncidentKnowledge(res *Result) int {
+	h := res.H
+	for u, inc := range res.Incident {
+		// Everything the node learned must be incident and in H.
+		for _, e := range inc.Edges() {
+			if int(e[0]) != u && int(e[1]) != u {
+				return u
+			}
+			if !h.Has(int(e[0]), int(e[1])) {
+				return u
+			}
+		}
+		// Every incident spanner edge must have been learned.
+		for _, e := range h.Edges() {
+			if int(e[0]) == u || int(e[1]) == u {
+				if !inc.Has(int(e[0]), int(e[1])) {
+					return u
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// noteTree records the spanner edges incident to this node found in a
+// flooded tree payload.
+func (st *nodeState) noteTree(payload []int32) {
+	ne := int(payload[1])
+	for i := 0; i < ne; i++ {
+		a, b := payload[2+2*i], payload[3+2*i]
+		if int(a) == st.id || int(b) == st.id {
+			st.incident.Add(int(a), int(b))
+		}
+	}
+}
+
+// FullLinkState returns the message/word cost of classic full link-state
+// flooding (every node floods its neighbor list to the entire network,
+// OSPF-style) for comparison: every node retransmits every list once.
+func FullLinkState(g *graph.Graph) (messages, words int64) {
+	n := g.N()
+	// Hello round.
+	messages = int64(2 * g.M())
+	words = int64(2*g.M()) * 3
+	// Each of the n lists is retransmitted by every node on every link.
+	for src := 0; src < n; src++ {
+		payload := int64(g.Degree(src) + 2 + 2)
+		for u := 0; u < n; u++ {
+			messages += int64(g.Degree(u))
+			words += int64(g.Degree(u)) * payload
+		}
+	}
+	return messages, words
+}

@@ -1,0 +1,75 @@
+// Package distsim simulates the paper's distributed setting: a
+// synchronous message-passing network (LOCAL model) in which every node
+// runs Algorithm 3 RemSpan(r, β) — hello round, neighbor-list flooding
+// to radius r−1+β, local dominating-tree computation, and tree
+// flooding. The simulator counts rounds, messages and payload words, so
+// experiments can demonstrate the "constant time for any input graph"
+// claim and measure advertisement cost against full link-state
+// flooding.
+package distsim
+
+import (
+	"fmt"
+
+	"remspan/internal/graph"
+)
+
+// Message is a point-to-point protocol message delivered at the start
+// of the round after it was sent.
+type Message struct {
+	From, To int32
+	Kind     uint8
+	Words    []int32
+}
+
+// Message kinds of the RemSpan protocol.
+const (
+	KindHello uint8 = iota // payload: [id]
+	KindTopo               // payload: [src, deg, neighbors...]
+	KindTree               // payload: [root, nEdges, a1, b1, a2, b2, ...]
+)
+
+// Sim is a synchronous network over a graph: nodes send messages during
+// a round; the runtime delivers them at the next round boundary and
+// tallies traffic.
+type Sim struct {
+	G        *graph.Graph
+	Round    int
+	Messages int64
+	Words    int64
+
+	outbox [][]Message
+}
+
+// NewSim returns a simulator over g with empty queues.
+func NewSim(g *graph.Graph) *Sim {
+	return &Sim{G: g, outbox: make([][]Message, g.N())}
+}
+
+// Send enqueues a message from→to for delivery next round. to must be a
+// G-neighbor of from — the paper's model only allows link-local
+// communication.
+func (s *Sim) Send(from, to int, kind uint8, words []int32) {
+	if !s.G.HasEdge(from, to) {
+		panic(fmt.Sprintf("distsim: %d→%d is not a link", from, to))
+	}
+	s.outbox[to] = append(s.outbox[to], Message{From: int32(from), To: int32(to), Kind: kind, Words: words})
+	s.Messages++
+	s.Words += int64(len(words)) + 2 // +2 for (from, kind) framing words
+}
+
+// Broadcast sends the same payload to every neighbor of from.
+func (s *Sim) Broadcast(from int, kind uint8, words []int32) {
+	for _, v := range s.G.Neighbors(from) {
+		s.Send(from, int(v), kind, words)
+	}
+}
+
+// Step closes the current round and returns the per-node inboxes for
+// the next one.
+func (s *Sim) Step() [][]Message {
+	in := s.outbox
+	s.outbox = make([][]Message, s.G.N())
+	s.Round++
+	return in
+}

@@ -1,0 +1,118 @@
+package domtree
+
+import (
+	"sort"
+
+	"remspan/internal/graph"
+)
+
+// KMIS computes Algorithm 5 DomTreeMIS(2, 1, k) for root u: a
+// k-connecting (2, 1)-dominating tree. It runs k rounds; each round
+// greedily picks an independent set of still-uncovered distance-2
+// vertices (smallest id first) and attaches each pick x through a fresh
+// common neighbor y1 (path u–y1–x) plus up to k−1 further fresh common
+// neighbors as direct children of u. A vertex v leaves S once its
+// common neighborhood with u is exhausted into V(T) or it sees k
+// branch-disjoint tree neighbors within depth 2.
+//
+// In a unit-ball graph of a doubling metric the tree has O(k²) edges
+// (Prop. 7). With k = 2, unions of these trees form 2-connecting
+// (2,−1)-remote-spanners (Prop. 4, Th. 3).
+func KMIS(g *graph.Graph, u, k int) *graph.Tree {
+	if k < 1 {
+		panic("domtree: KMIS requires k >= 1")
+	}
+	t := graph.NewTree(g.N(), u)
+
+	// S: vertices at distance exactly 2 from u.
+	inS := make(map[int32]bool)
+	for _, w := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(int(w)) {
+			if v != int32(u) && !g.HasEdge(u, int(v)) {
+				inS[v] = true
+			}
+		}
+	}
+	commonLeft := make(map[int32]int, len(inS))
+	for v := range inS {
+		commonLeft[v] = len(g.CommonNeighbors(u, int(v)))
+	}
+
+	covered := func(v int32) bool {
+		return commonLeft[v] == 0 || countDisjointWitnesses(g, t, int(v), 2) >= k
+	}
+	// addToTree attaches a fresh common neighbor y; decrements
+	// commonLeft of y's distance-2 neighbors.
+	noteTreeMember := func(y int32) {
+		for _, v := range g.Neighbors(int(y)) {
+			if inS[v] {
+				commonLeft[v]--
+			}
+		}
+	}
+
+	for round := 0; round < k && len(inS) > 0; round++ {
+		// X := S (snapshot), processed in increasing id.
+		order := make([]int32, 0, len(inS))
+		for v := range inS {
+			order = append(order, v)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		inX := make(map[int32]bool, len(order))
+		for _, v := range order {
+			inX[v] = true
+		}
+
+		for len(inS) > 0 {
+			// Pick the smallest-id x in S ∩ X.
+			x := int32(-1)
+			for _, v := range order {
+				if inX[v] && inS[v] {
+					x = v
+					break
+				}
+			}
+			if x == -1 {
+				break
+			}
+			// Fresh common neighbors of x and u.
+			var fresh []int32
+			for _, y := range g.CommonNeighbors(u, int(x)) {
+				if !t.Contains(int(y)) {
+					fresh = append(fresh, y)
+				}
+			}
+			c := k
+			if len(fresh) < c {
+				c = len(fresh)
+			}
+			// x ∈ S implies commonLeft[x] > 0, so c >= 1 (see Prop. 7
+			// termination argument); attach u–y1–x then u–y2.. u–yc.
+			var affected []int32
+			y1 := fresh[0]
+			t.Add(int(y1), u)
+			noteTreeMember(y1)
+			t.Add(int(x), int(y1))
+			affected = append(affected, g.Neighbors(int(y1))...)
+			affected = append(affected, g.Neighbors(int(x))...)
+			for i := 1; i < c; i++ {
+				t.Add(int(fresh[i]), u)
+				noteTreeMember(fresh[i])
+				affected = append(affected, g.Neighbors(int(fresh[i]))...)
+			}
+			// Coverage can only have changed for S-vertices adjacent to
+			// a newly added tree node.
+			for _, v := range affected {
+				if inS[v] && covered(v) {
+					delete(inS, v)
+				}
+			}
+			// X := X \ B_G(x, 1).
+			delete(inX, x)
+			for _, w := range g.Neighbors(int(x)) {
+				delete(inX, w)
+			}
+		}
+	}
+	return t
+}

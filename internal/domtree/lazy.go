@@ -1,0 +1,115 @@
+package domtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"remspan/internal/graph"
+)
+
+// KGreedyLazy is KGreedy with lazy gain re-evaluation (the classic
+// priority-queue accelerated greedy set cover): candidate gains only
+// decrease, so a max-heap of possibly-stale gains pops the true argmax
+// after at most a few refreshes. Output is bit-identical to KGreedy —
+// the heap orders by (gain desc, id asc), matching the eager
+// tie-breaking — at a fraction of the scans on high-degree roots.
+func KGreedyLazy(g *graph.Graph, u, k int) *graph.Tree {
+	if k < 1 {
+		panic("domtree: KGreedyLazy requires k >= 1")
+	}
+	t := graph.NewTree(g.N(), u)
+	nu := g.Neighbors(u)
+
+	inS := make(map[int32]bool)
+	for _, w := range nu {
+		for _, v := range g.Neighbors(int(w)) {
+			if v != int32(u) && !g.HasEdge(u, int(v)) {
+				inS[v] = true
+			}
+		}
+	}
+	if len(inS) == 0 {
+		return t
+	}
+	hits := make(map[int32]int, len(inS))
+	commonLeft := make(map[int32]int, len(inS))
+	for v := range inS {
+		commonLeft[v] = len(g.CommonNeighbors(u, int(v)))
+	}
+
+	trueGain := func(x int32) int {
+		c := 0
+		for _, v := range g.Neighbors(int(x)) {
+			if inS[v] {
+				c++
+			}
+		}
+		return c
+	}
+
+	h := &gainHeap{}
+	for _, x := range nu {
+		h.items = append(h.items, gainItem{id: x, gain: trueGain(x)})
+	}
+	heap.Init(h)
+
+	for len(inS) > 0 {
+		if h.Len() == 0 {
+			panic(fmt.Sprintf("domtree: lazy k-cover stuck at root %d (|S|=%d)", u, len(inS)))
+		}
+		top := heap.Pop(h).(gainItem)
+		fresh := trueGain(top.id)
+		if fresh != top.gain {
+			// Stale: refresh and retry.
+			if fresh > 0 {
+				heap.Push(h, gainItem{id: top.id, gain: fresh})
+			}
+			continue
+		}
+		if fresh == 0 {
+			continue
+		}
+		best := top.id
+		t.Add(int(best), u)
+		for _, v := range g.Neighbors(int(best)) {
+			if !inS[v] {
+				continue
+			}
+			hits[v]++
+			commonLeft[v]--
+			if hits[v] >= k || commonLeft[v] == 0 {
+				delete(inS, v)
+			}
+		}
+	}
+	return t
+}
+
+type gainItem struct {
+	id   int32
+	gain int
+}
+
+// gainHeap is a max-heap on (gain, then smaller id first), matching the
+// eager greedy's deterministic tie-break.
+type gainHeap struct {
+	items []gainItem
+}
+
+func (h *gainHeap) Len() int { return len(h.items) }
+func (h *gainHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.id < b.id
+}
+func (h *gainHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *gainHeap) Push(x interface{}) { h.items = append(h.items, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

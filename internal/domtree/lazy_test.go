@@ -1,0 +1,82 @@
+package domtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"remspan/internal/gen"
+)
+
+func TestLazyMatchesEagerKGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 40; trial++ {
+		g := randomConnected(10+rng.Intn(40), 80, rng)
+		u := rng.Intn(g.N())
+		for k := 1; k <= 3; k++ {
+			eager := KGreedy(g, u, k)
+			lazy := KGreedyLazy(g, u, k)
+			ee, le := eager.Edges(), lazy.Edges()
+			if len(ee) != len(le) {
+				t.Fatalf("trial %d u=%d k=%d: eager %d edges, lazy %d",
+					trial, u, k, len(ee), len(le))
+			}
+			for i := range ee {
+				if ee[i] != le[i] {
+					t.Fatalf("trial %d u=%d k=%d: edge %d differs (%v vs %v)",
+						trial, u, k, i, ee[i], le[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLazyMatchesEagerQuick(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(kRaw%3)
+		g := randomConnected(8+rng.Intn(20), 40, rng)
+		u := rng.Intn(g.N())
+		a, b := KGreedy(g, u, k), KGreedyLazy(g, u, k)
+		ea, eb := a.Edges(), b.Edges()
+		if len(ea) != len(eb) {
+			return false
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyOnDenseUDG(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomUDG(300, 3, 1.0, rng)
+	if g.N() < 100 {
+		t.Skip("degenerate UDG")
+	}
+	for u := 0; u < g.N(); u += 17 {
+		a, b := KGreedy(g, u, 2), KGreedyLazy(g, u, 2)
+		if a.EdgeCount() != b.EdgeCount() {
+			t.Fatalf("u=%d: eager %d vs lazy %d", u, a.EdgeCount(), b.EdgeCount())
+		}
+	}
+}
+
+func TestLazyTrivialCases(t *testing.T) {
+	g := gen.Complete(5)
+	if tr := KGreedyLazy(g, 0, 3); tr.Size() != 1 {
+		t.Fatal("complete graph should give bare root")
+	}
+	s := gen.Star(6)
+	tr := KGreedyLazy(s, 1, 1)
+	bad, err := IsKConnDominatingTree(s, tr, 1, 0)
+	if err != nil || bad != -1 {
+		t.Fatalf("star leaf tree invalid: bad=%d err=%v", bad, err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package dynamic maintains a remote-spanner incrementally under
+// topology changes. The paper's constructions are local — node u's
+// dominating tree depends only on topology within a constant radius R —
+// so an edge or vertex change can only invalidate the trees of roots
+// within distance R+1 of the change. Rebuilding just those trees yields
+// exactly the spanner a full recomputation would produce, at a fraction
+// of the work (the incremental-vs-full ablation is benchmarked in
+// bench_test.go).
+package dynamic
+
+import (
+	"remspan/internal/graph"
+)
+
+// TreeBuilder builds the dominating tree for a root (e.g. a
+// domtree.KGreedy or domtree.MIS closure).
+type TreeBuilder func(g *graph.Graph, scratch *graph.BFSScratch, u int) *graph.Tree
+
+// Maintainer keeps the union-of-trees spanner of a mutable graph.
+type Maintainer struct {
+	g       *graph.Graph
+	build   TreeBuilder
+	radius  int // locality radius R of the tree construction
+	trees   []*graph.Tree
+	scratch *graph.BFSScratch
+	rebuilt int64 // cumulative trees rebuilt (for the ablation metric)
+}
+
+// New computes the initial spanner over a clone of g. radius is the
+// construction's locality radius R = r−1+β (1 for Algorithm 4, 2 for
+// Algorithm 5 with β=1, r for Algorithm 2).
+func New(g *graph.Graph, radius int, build TreeBuilder) *Maintainer {
+	if radius < 1 {
+		panic("dynamic: radius must be >= 1")
+	}
+	m := &Maintainer{
+		g:       g.Clone(),
+		build:   build,
+		radius:  radius,
+		trees:   make([]*graph.Tree, g.N()),
+		scratch: graph.NewBFSScratch(g.N()),
+	}
+	for u := 0; u < g.N(); u++ {
+		m.trees[u] = build(m.g, m.scratch, u)
+		m.rebuilt++
+	}
+	return m
+}
+
+// Graph returns the maintained graph (do not mutate directly — use
+// AddEdge/RemoveEdge).
+func (m *Maintainer) Graph() *graph.Graph { return m.g }
+
+// Spanner returns the current union-of-trees spanner.
+func (m *Maintainer) Spanner() *graph.EdgeSet {
+	es := graph.NewEdgeSet(m.g.N())
+	for _, t := range m.trees {
+		es.AddTree(t)
+	}
+	return es
+}
+
+// TreesRebuilt returns the cumulative number of tree constructions
+// (including the initial build).
+func (m *Maintainer) TreesRebuilt() int64 { return m.rebuilt }
+
+// AddEdge inserts {u, v} and repairs affected trees. Reports whether
+// the edge was new.
+func (m *Maintainer) AddEdge(u, v int) bool {
+	// Dirty set must be computed against the post-change graph for
+	// insertions (new vertices become reachable through the edge).
+	if !m.g.AddEdge(u, v) {
+		return false
+	}
+	m.rebuildAround(u, v)
+	return true
+}
+
+// RemoveEdge deletes {u, v} and repairs affected trees. Reports whether
+// the edge existed.
+func (m *Maintainer) RemoveEdge(u, v int) bool {
+	// Dirty set against the pre-change graph for deletions (roots that
+	// could reach the edge before it vanished).
+	dirty := m.dirtySet(u, v)
+	if !m.g.RemoveEdge(u, v) {
+		return false
+	}
+	for _, root := range dirty {
+		m.trees[root] = m.build(m.g, m.scratch, int(root))
+		m.rebuilt++
+	}
+	return true
+}
+
+func (m *Maintainer) rebuildAround(u, v int) {
+	for _, root := range m.dirtySet(u, v) {
+		m.trees[root] = m.build(m.g, m.scratch, int(root))
+		m.rebuilt++
+	}
+}
+
+// FailVertex removes every edge incident to x (a node crash) and
+// repairs affected trees, returning the number of edges removed. x
+// stays in the vertex set as an isolated node, matching the paper's
+// fault model for multipath routing.
+func (m *Maintainer) FailVertex(x int) int {
+	nbrs := append([]int32(nil), m.g.Neighbors(x)...)
+	// One dirty sweep before any removal: every root that could see any
+	// incident edge.
+	dirtyAll := make(map[int32]struct{})
+	for _, v := range nbrs {
+		for _, w := range m.dirtySet(x, int(v)) {
+			dirtyAll[w] = struct{}{}
+		}
+	}
+	for _, v := range nbrs {
+		m.g.RemoveEdge(x, int(v))
+	}
+	for w := range dirtyAll {
+		m.trees[w] = m.build(m.g, m.scratch, int(w))
+		m.rebuilt++
+	}
+	return len(nbrs)
+}
+
+// dirtySet returns every root whose ball B(root, R+1) touches u or v —
+// a superset of the trees whose construction inputs changed. A tree for
+// root w reads topology within distance R of w: adjacency lists of
+// vertices in B(w, R). Edge {u,v} appears in those inputs iff
+// d(w, u) ≤ R or d(w, v) ≤ R.
+func (m *Maintainer) dirtySet(u, v int) []int32 {
+	distU, _, reachedU := m.scratch.Bounded(m.g, u, m.radius)
+	set := make(map[int32]struct{}, len(reachedU))
+	for _, w := range reachedU {
+		set[w] = struct{}{}
+	}
+	_ = distU
+	distV, _, reachedV := m.scratch.Bounded(m.g, v, m.radius)
+	_ = distV
+	for _, w := range reachedV {
+		set[w] = struct{}{}
+	}
+	out := make([]int32, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	return out
+}

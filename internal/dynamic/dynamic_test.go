@@ -1,0 +1,207 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/domtree"
+	"remspan/internal/gen"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+func kgreedyBuilder(k int) TreeBuilder {
+	return func(g *graph.Graph, _ *graph.BFSScratch, u int) *graph.Tree {
+		return domtree.KGreedy(g, u, k)
+	}
+}
+
+func misBuilder(r int) TreeBuilder {
+	return func(g *graph.Graph, s *graph.BFSScratch, u int) *graph.Tree {
+		return domtree.MIS(g, s, u, r)
+	}
+}
+
+// fullSpanner recomputes the union-of-trees spanner from scratch.
+func fullSpanner(g *graph.Graph, build TreeBuilder) *graph.EdgeSet {
+	es := graph.NewEdgeSet(g.N())
+	s := graph.NewBFSScratch(g.N())
+	for u := 0; u < g.N(); u++ {
+		es.AddTree(build(g, s, u))
+	}
+	return es
+}
+
+func edgesEqual(a, b *graph.EdgeSet) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalMatchesFullMPR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.RandomTree(25, rng)
+		for i := 0; i < 40; i++ {
+			u, v := rng.Intn(25), rng.Intn(25)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		build := kgreedyBuilder(1)
+		m := New(g, 1, build)
+		for step := 0; step < 25; step++ {
+			u, v := rng.Intn(25), rng.Intn(25)
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				m.AddEdge(u, v)
+			} else if m.Graph().HasEdge(u, v) && m.Graph().Degree(u) > 1 && m.Graph().Degree(v) > 1 {
+				m.RemoveEdge(u, v)
+			}
+			want := fullSpanner(m.Graph(), build)
+			if !edgesEqual(m.Spanner(), want) {
+				t.Fatalf("trial %d step %d: incremental spanner diverged", trial, step)
+			}
+		}
+	}
+}
+
+func TestIncrementalMatchesFullMIS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.RandomTree(30, rng)
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	r := 3
+	build := misBuilder(r)
+	m := New(g, r, build) // β=1 → R = r
+	for step := 0; step < 20; step++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			m.AddEdge(u, v)
+		} else {
+			m.RemoveEdge(u, v)
+		}
+		want := fullSpanner(m.Graph(), build)
+		if !edgesEqual(m.Spanner(), want) {
+			t.Fatalf("step %d: incremental MIS spanner diverged", step)
+		}
+	}
+}
+
+func TestIncrementalSpannerStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RandomTree(30, rng)
+	for i := 0; i < 70; i++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	m := New(g, 1, kgreedyBuilder(1))
+	for step := 0; step < 15; step++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u != v {
+			m.AddEdge(u, v)
+		}
+		h := m.Spanner().Graph()
+		if viol := spanner.Check(m.Graph(), h, spanner.NewStretch(1, 0)); viol != nil {
+			t.Fatalf("step %d: %v", step, viol)
+		}
+	}
+}
+
+func TestIncrementalRebuildsFewTrees(t *testing.T) {
+	// On a large sparse graph a single edge change must rebuild far
+	// fewer than n trees.
+	rng := rand.New(rand.NewSource(4))
+	g := gen.Grid(20, 20) // 400 nodes, degree ≤ 4
+	m := New(g, 1, kgreedyBuilder(1))
+	base := m.TreesRebuilt()
+	if base != 400 {
+		t.Fatalf("initial build rebuilt %d trees", base)
+	}
+	for i := 0; i < 10; i++ {
+		u := rng.Intn(399)
+		m.AddEdge(u, u+1) // mostly no-ops (already edges) plus some diagonals
+		m.AddEdge(rng.Intn(400), rng.Intn(400))
+	}
+	delta := m.TreesRebuilt() - base
+	if delta == 0 {
+		t.Fatal("no rebuilds recorded")
+	}
+	if delta > 400 {
+		t.Fatalf("rebuilt %d trees for 20 local changes — locality lost", delta)
+	}
+}
+
+func TestNoopChanges(t *testing.T) {
+	g := gen.Ring(10)
+	m := New(g, 1, kgreedyBuilder(1))
+	base := m.TreesRebuilt()
+	if m.AddEdge(0, 1) {
+		t.Fatal("duplicate edge added")
+	}
+	if m.RemoveEdge(3, 7) {
+		t.Fatal("phantom edge removed")
+	}
+	if m.TreesRebuilt() != base {
+		t.Fatal("no-op changes triggered rebuilds")
+	}
+}
+
+func TestFailVertexMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		g := gen.RandomTree(25, rng)
+		for i := 0; i < 50; i++ {
+			u, v := rng.Intn(25), rng.Intn(25)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		build := kgreedyBuilder(1)
+		m := New(g, 1, build)
+		x := rng.Intn(25)
+		removed := m.FailVertex(x)
+		if removed != g.Degree(x) {
+			t.Fatalf("removed %d edges, vertex had %d", removed, g.Degree(x))
+		}
+		if m.Graph().Degree(x) != 0 {
+			t.Fatal("vertex still has edges")
+		}
+		want := fullSpanner(m.Graph(), build)
+		if !edgesEqual(m.Spanner(), want) {
+			t.Fatalf("trial %d: post-failure spanner diverged", trial)
+		}
+		// Second failure of the same vertex is a no-op.
+		base := m.TreesRebuilt()
+		if m.FailVertex(x) != 0 || m.TreesRebuilt() != base {
+			t.Fatal("re-failing an isolated vertex did work")
+		}
+	}
+}
+
+func TestBadRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(gen.Ring(5), 0, kgreedyBuilder(1))
+}

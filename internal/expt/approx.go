@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"math"
+
+	"remspan/internal/domtree"
+	"remspan/internal/gen"
+	"remspan/internal/spanner"
+	"remspan/internal/stats"
+)
+
+// ApproxRatio reproduces the approximation guarantees: Prop. 6 (greedy
+// k-cover trees within 1+log Δ of the optimal tree), Th. 2 (the whole
+// spanner within 2(1+log Δ) of the optimal k-connecting
+// (1,0)-remote-spanner) and Prop. 2's lower-bound argument for
+// (r, β)-dominating trees. Exact optima come from branch & bound.
+func ApproxRatio(cfg Config) (*stats.Table, error) {
+	n := 64
+	trials := 6
+	if cfg.Quick {
+		n = 40
+		trials = 4
+	}
+	t := stats.NewTable("Greedy vs optimal dominating trees / spanners",
+		"graph", "k", "greedy Σ|T_u|", "opt Σ|T*_u|", "worst per-root ratio", "1+ln Δ", "spanner vs ½Σopt", "verdict")
+
+	budget := 1 << 22
+	for trial := 0; trial < trials; trial++ {
+		rng := cfg.rng(int64(600 + trial))
+		g := gen.ErdosRenyi(n, 2.5*math.Log(float64(n))/float64(n), rng)
+		for _, k := range []int{1, 2} {
+			sumG, sumO := 0, 0
+			worst := 1.0
+			allExact := true
+			for u := 0; u < g.N(); u++ {
+				greedy := domtree.KGreedy(g, u, k).EdgeCount()
+				opt, ok := domtree.OptimalKCoverSize(g, u, k, budget)
+				if !ok {
+					allExact = false
+					continue
+				}
+				sumG += greedy
+				sumO += opt
+				if opt > 0 {
+					if r := float64(greedy) / float64(opt); r > worst {
+						worst = r
+					}
+				}
+			}
+			bound := 1 + math.Log(float64(g.MaxDegree()))
+			// Th. 2: |E(H)| ≤ 2(1+log Δ)·|E(H*)| and 2|E(H*)| ≥ Σ|T*_u|.
+			res := spanner.KConnecting(g, k)
+			lower := float64(sumO) / 2
+			spannerRatio := 0.0
+			if lower > 0 {
+				spannerRatio = float64(res.Edges()) / lower
+			}
+			ok := worst <= bound+1e-9 && spannerRatio <= 2*bound+1e-9
+			t.AddRow(trial, k, sumG, sumO, worst, bound, spannerRatio,
+				verdict(ok && allExact))
+		}
+	}
+	t.AddNote("per-root ratio bound: Prop. 6; spanner bound 2(1+ln Δ): Th. 2")
+
+	// Prop. 2 spot check: greedy (r, β)-dominating trees against the
+	// exact per-ring cover lower bound.
+	rng := cfg.rng(699)
+	g := gen.ErdosRenyi(n, 3*math.Log(float64(n))/float64(n), rng)
+	okP2 := true
+	for u := 0; u < g.N(); u += 4 {
+		for _, beta := range []int{0, 1} {
+			tr := domtree.Greedy(g, nil, u, 3, beta)
+			lb, exact := domtree.OptimalDomTreeLowerBound(g, u, 3, beta, budget)
+			if !exact {
+				continue
+			}
+			if tr.EdgeCount() < lb {
+				okP2 = false
+			}
+		}
+	}
+	t.AddNote("Prop. 2 lower-bound consistency for (3, β)-dominating trees: %s", verdict(okP2))
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"math"
+
+	"remspan/internal/geom"
+	"remspan/internal/spanner"
+	"remspan/internal/stats"
+)
+
+// EpsilonSweep reproduces Th. 1's size bound: the (1+ε, 1−2ε)-remote-
+// spanner of a unit-ball graph of a doubling metric with dimension p
+// has O(ε^{−(p+1)} n) edges. Part A sweeps n at fixed ε (edges/n must
+// flatten — linear size even as m grows quadratically); part B sweeps ε
+// and the ambient dimension (edges/n tracks ε^{−(p+1)}).
+func EpsilonSweep(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable("Th. 1 — low-stretch remote-spanner size in doubling UBG",
+		"part", "dim p", "eps", "n", "m", "edges", "edges/n")
+
+	// Part A: linearity in n (fixed square, growing density).
+	ns := []int{200, 400, 800, 1400}
+	if cfg.Quick {
+		ns = []int{120, 240, 420}
+	}
+	var epn []float64
+	var mexp []float64
+	var xs []float64
+	for i, n := range ns {
+		rng := cfg.rng(int64(500 + i))
+		pts := geom.UniformBox(n, 2, 5, rng)
+		g := geom.UnitBallGraph(geom.EuclideanMetric{Points: pts}, 1.0)
+		res := spanner.LowStretch(g, 0.5)
+		t.AddRow("A", 2, 0.5, g.N(), g.M(), res.Edges(), float64(res.Edges())/float64(g.N()))
+		epn = append(epn, float64(res.Edges())/float64(g.N()))
+		mexp = append(mexp, float64(g.M()))
+		xs = append(xs, float64(g.N()))
+	}
+	mFit := stats.LogLogSlope(xs, mexp)
+	first, last := epn[0], epn[len(epn)-1]
+	linOK := last < 2.5*first // edges/n stays bounded while m explodes
+	t.AddNote("part A: edges/n goes %.1f → %.1f while m ~ n^%.2f — %s",
+		first, last, mFit.Slope, verdict(linOK && mFit.Slope > 1.5))
+
+	// Part B: ε and dimension dependence at fixed n.
+	n := 500
+	epss := []float64{1.0, 0.5, 1.0 / 3, 0.25}
+	dims := []int{1, 2, 3}
+	if cfg.Quick {
+		n = 250
+		epss = []float64{1.0, 0.5, 1.0 / 3}
+		dims = []int{1, 2}
+	}
+	monotone := true
+	for _, dim := range dims {
+		rng := cfg.rng(int64(550 + dim))
+		side := math.Pow(float64(n)/20, 1.0/float64(dim)) // ~20 points per unit cube
+		pts := geom.UniformBox(n, dim, side, rng)
+		g := geom.UnitBallGraph(geom.EuclideanMetric{Points: pts}, 1.0)
+		prev := -1.0
+		for _, eps := range epss {
+			res := spanner.LowStretch(g, eps)
+			density := float64(res.Edges()) / float64(g.N())
+			t.AddRow("B", dim, eps, g.N(), g.M(), res.Edges(), density)
+			if prev >= 0 && density < prev-1e-9 {
+				monotone = false // smaller ε must not shrink the spanner
+			}
+			prev = density
+		}
+	}
+	t.AddNote("part B: edges/n grows as ε shrinks and with dimension — %s", verdict(monotone))
+	t.AddNote("paper bound: O(ε^{−(p+1)}·n) edges, stretch (1+ε, 1−2ε)")
+	return t, nil
+}

@@ -1,0 +1,113 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+// runExpt runs one experiment in quick mode and fails the test on any
+// FAIL verdict in its table.
+func runExpt(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	tb, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := tb.String()
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("%s produced FAIL verdicts:\n%s", id, out)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
+	}
+	for i, e := range all {
+		if idOrder(e.ID) != i+1 {
+			t.Fatalf("registry out of order at %d: %s", i, e.ID)
+		}
+		if e.Title == "" || e.Ref == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("lookup invented an experiment")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	out := runExpt(t, "E1")
+	for _, want := range []string{"(a)", "(b)", "(c)", "(d)", "unit disk graph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := runExpt(t, "E2")
+	for _, want := range []string{"rand. UDG", "UBG known dist.", "UBG unknown dist.", "points in R^d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q", want)
+		}
+	}
+}
+
+func TestScalingUDG(t *testing.T)      { runExpt(t, "E3") }
+func TestEpsilonSweep(t *testing.T)    { runExpt(t, "E4") }
+func TestKConnSweep(t *testing.T)      { runExpt(t, "E5") }
+func TestApproxRatio(t *testing.T)     { runExpt(t, "E6") }
+func TestRounds(t *testing.T)          { runExpt(t, "E7") }
+func TestRoutingStretchE(t *testing.T) { runExpt(t, "E8") }
+func TestMultipathE(t *testing.T)      { runExpt(t, "E9") }
+func TestFloodingE(t *testing.T)       { runExpt(t, "E10") }
+func TestFrontierE(t *testing.T)       { runExpt(t, "E11") }
+func TestEdgeConnE(t *testing.T)       { runExpt(t, "E12") }
+func TestLiveProtocolE(t *testing.T)   { runExpt(t, "E13") }
+func TestChurnE(t *testing.T)          { runExpt(t, "E14") }
+func TestWorstCaseE(t *testing.T)      { runExpt(t, "E15") }
+func TestAsynchronyE(t *testing.T)     { runExpt(t, "E16") }
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(quickCfg(), &buf); err != nil {
+		t.Fatalf("RunAll: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "["+e.ID+"]") {
+			t.Errorf("missing section %s", e.ID)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	e, _ := Lookup("E3")
+	a, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same config produced different tables")
+	}
+}

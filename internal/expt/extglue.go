@@ -1,0 +1,27 @@
+package expt
+
+import (
+	"remspan/internal/ext"
+	"remspan/internal/graph"
+)
+
+// Thin glue so the experiment files read declaratively.
+
+func extKEdge(g *graph.Graph, k int) *graph.Graph {
+	return ext.KEdgeConnecting(g, k).Graph()
+}
+
+func extVerifyEdge(g, h *graph.Graph, k int) []ext.EdgeKDistanceStretch {
+	return ext.VerifyEdgeConnecting(g, h, k)
+}
+
+func extLowStretchK(g *graph.Graph, eps float64, k int, cfg Config, salt int) (edges int, worst ext.KStretchSample) {
+	res := ext.LowStretchKConnecting(g, eps, k)
+	rng := cfg.rng(int64(1300 + salt))
+	var pairs [][2]int
+	for i := 0; i < 60; i++ {
+		pairs = append(pairs, [2]int{rng.Intn(g.N()), rng.Intn(g.N())})
+	}
+	worstAll := ext.MeasureKStretch(g, res.Graph(), k, pairs)
+	return res.Edges(), worstAll[k-1]
+}

@@ -1,0 +1,133 @@
+package expt
+
+import (
+	"fmt"
+
+	"remspan/internal/flow"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+	"remspan/internal/stats"
+)
+
+// fig1Points is a fixed unit-disk instance mirroring the topology of
+// the paper's Figure 1: u on the left, two relay "lobes" (y, x) and
+// (y', x') leading to v, and a tail node z behind v. Connection radius
+// is 1.
+var fig1Points = []geom.Point{
+	{0.00, 0.00},  // 0: u
+	{0.80, 0.45},  // 1: y
+	{0.80, -0.45}, // 2: y'
+	{1.60, 0.45},  // 3: x
+	{1.60, -0.45}, // 4: x'
+	{2.35, 0.00},  // 5: v
+	{0.95, 0.00},  // 6: w   (inside the u-side oval)
+	{3.10, 0.30},  // 7: z
+}
+
+var fig1Names = []string{"u", "y", "y'", "x", "x'", "v", "w", "z"}
+
+// Figure1 reproduces Figure 1: it builds the unit-disk instance (panel
+// a), the (1,0)-remote-spanner (panel b), the (2,−1)-remote-spanner
+// (panel c) and the 2-connecting (2,−1)-remote-spanner (panel d), and
+// verifies each panel's caption claims programmatically.
+func Figure1(cfg Config) (*stats.Table, error) {
+	g := geom.UnitDiskGraph(fig1Points, 1.0)
+	const u, v, x = 0, 5, 3
+
+	t := stats.NewTable("Figure 1 — remote-spanners on a unit disk graph",
+		"panel", "structure", "edges", "claim", "measured", "verdict")
+
+	t.AddRow("(a)", "unit disk graph G", g.M(), "d_G(u,x)=2, d_G(u,v)=3",
+		fmt.Sprintf("d_G(u,x)=%d, d_G(u,v)=%d", graph.BFS(g, u)[x], graph.BFS(g, u)[v]),
+		verdict(graph.BFS(g, u)[x] == 2))
+
+	// Panel (b): (1,0)-remote-spanner preserves exact distances in H_u
+	// while dropping edges a (1,0)-spanner must keep.
+	hb := spanner.Exact(g)
+	hbG := hb.Graph()
+	viol := spanner.Check(g, hbG, spanner.NewStretch(1, 0))
+	dhb := spanner.ViewBFS(g, hbG, u)
+	droppedIncident := 0
+	for _, nb := range g.Neighbors(u) {
+		if !hb.H.Has(u, int(nb)) {
+			droppedIncident++
+		}
+	}
+	t.AddRow("(b)", "(1,0)-remote-spanner H^b", hb.Edges(),
+		"d_{H^b_u}(u,x) = d_G(u,x); sparser than G",
+		fmt.Sprintf("d=%d; %d/%d edges; %d u-edges only in H^b_u",
+			dhb[x], hb.Edges(), g.M(), droppedIncident),
+		verdict(viol == nil && int(dhb[x]) == 2 && hb.Edges() < g.M()))
+
+	// Panel (c): (2,−1)-remote-spanner via (2,1)-dominating trees
+	// (eps=1 in Prop. 1: r=2, stretch (2,−1)).
+	hc := spanner.LowStretch(g, 1.0)
+	hcG := hc.Graph()
+	violC := spanner.Check(g, hcG, spanner.NewStretch(2, -1))
+	dhc := spanner.ViewBFS(g, hcG, u)
+	dg := graph.BFS(g, u)
+	t.AddRow("(c)", "(2,−1)-remote-spanner H^c", hc.Edges(),
+		fmt.Sprintf("d_{H^c_u}(u,v) ≤ 2·%d−1", dg[v]),
+		fmt.Sprintf("d=%d", dhc[v]),
+		verdict(violC == nil && int(dhc[v]) <= 2*int(dg[v])-1))
+
+	// Panel (d): 2-connecting (2,−1)-remote-spanner — two disjoint
+	// paths u→v survive in H^d_u.
+	hd := spanner.TwoConnecting(g)
+	hdG := hd.Graph()
+	d2g := flow.KDistance(g, u, v, 2)
+	hdu := spanner.View(g, hdG, u)
+	res, ok := flow.VertexDisjointPaths(hdu, u, v, 2)
+	claim := fmt.Sprintf("2 disjoint u→v paths, Σlen ≤ 2·%d−2", d2g)
+	measured := "no 2 disjoint paths"
+	okD := false
+	if ok {
+		measured = fmt.Sprintf("Σlen=%d via %s and %s",
+			res.Total, fig1PathString(res.Paths[0]), fig1PathString(res.Paths[1]))
+		okD = res.Total <= 2*d2g-2 &&
+			flow.ArePathsInternallyDisjoint(hdu, u, v, res.Paths) == nil
+	}
+	violD := spanner.CheckKConnecting(g, hdG, 2, spanner.NewStretch(2, -1), nil)
+	t.AddRow("(d)", "2-connecting (2,−1)-r.s. H^d", hd.Edges(), claim, measured,
+		verdict(okD && violD == nil))
+
+	t.AddNote("vertices: %v", fig1Names)
+	t.AddNote("G edges: %s", fig1Edges(g))
+	t.AddNote("H^b edges: %s", fig1EdgeSet(hb.H))
+	t.AddNote("H^d edges: %s", fig1EdgeSet(hd.H))
+	return t, nil
+}
+
+func fig1PathString(p []int32) string {
+	s := ""
+	for i, v := range p {
+		if i > 0 {
+			s += "-"
+		}
+		s += fig1Names[v]
+	}
+	return s
+}
+
+func fig1Edges(g *graph.Graph) string {
+	s := ""
+	g.EachEdge(func(a, b int) {
+		if s != "" {
+			s += " "
+		}
+		s += fig1Names[a] + fig1Names[b]
+	})
+	return s
+}
+
+func fig1EdgeSet(es *graph.EdgeSet) string {
+	s := ""
+	for _, e := range es.Edges() {
+		if s != "" {
+			s += " "
+		}
+		s += fig1Names[e[0]] + fig1Names[e[1]]
+	}
+	return s
+}

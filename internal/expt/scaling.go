@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"math"
+
+	"remspan/internal/spanner"
+	"remspan/internal/stats"
+)
+
+// ScalingUDG reproduces the paper's size claim for (1,0)-remote-
+// spanners in the random unit-disk-graph model (Th. 2 / §3.2): expected
+// O(n^{4/3} log n) edges while the full topology has Ω(n²). It sweeps
+// the Poisson intensity on a fixed square, fits log–log slopes, and
+// checks that the spanner exponent sits well below the graph's ≈2 and
+// near 4/3.
+func ScalingUDG(cfg Config) (*stats.Table, error) {
+	ns := []int{256, 384, 576, 864, 1296, 1944}
+	if cfg.Quick {
+		ns = []int{128, 192, 288, 432}
+	}
+	const side = 4.0
+
+	t := stats.NewTable("(1,0)-remote-spanner scaling in random UDG (fixed 4×4 square)",
+		"n", "m", "H edges", "m/n²", "H/(n^{4/3}·ln n)")
+	var xs, ms, hs []float64
+	for i, n := range ns {
+		rng := cfg.rng(int64(300 + i))
+		g := udgWithN(n, side, rng)
+		res := spanner.Exact(g)
+		nn := float64(g.N())
+		t.AddRow(g.N(), g.M(), res.Edges(),
+			float64(g.M())/(nn*nn),
+			float64(res.Edges())/(math.Pow(nn, 4.0/3)*math.Log(nn)))
+		xs = append(xs, nn)
+		ms = append(ms, float64(g.M()))
+		hs = append(hs, float64(res.Edges()))
+	}
+	mFit := stats.LogLogSlope(xs, ms)
+	hFit := stats.LogLogSlope(xs, hs)
+	t.AddNote("graph exponent: m ~ n^%.2f (paper: 2)", mFit.Slope)
+	t.AddNote("spanner exponent: |H| ~ n^%.2f (paper: 4/3 ≈ 1.33, ×log n)", hFit.Slope)
+	gap := mFit.Slope - hFit.Slope
+	t.AddNote("verdict: %s (spanner grows strictly slower, gap %.2f)",
+		verdict(hFit.Slope < mFit.Slope-0.25 && hFit.Slope < 1.75), gap)
+	t.Charts = append(t.Charts,
+		stats.AsciiChart("graph edges m vs n", xs, ms, 48, 10),
+		stats.AsciiChart("spanner edges |H| vs n", xs, hs, 48, 10))
+	return t, nil
+}
+
+// KConnSweep reproduces the k-dependence of Th. 2: the k-connecting
+// (1,0)-remote-spanner has O(k^{2/3} n^{4/3} log n) expected edges in
+// the random UDG model — size should grow sublinearly in k, tracking
+// k^{2/3}.
+func KConnSweep(cfg Config) (*stats.Table, error) {
+	n := 1024
+	ks := []int{1, 2, 3, 4, 5}
+	if cfg.Quick {
+		n = 288
+		ks = []int{1, 2, 3, 4}
+	}
+	g := udgWithN(n, 4, cfg.rng(400))
+
+	t := stats.NewTable("k-connecting (1,0)-remote-spanner size vs k (random UDG)",
+		"k", "edges", "edges/edges(1)", "k^{2/3}")
+	var base float64
+	var xs, ys []float64
+	for _, k := range ks {
+		res := spanner.KConnecting(g, k)
+		e := float64(res.Edges())
+		if k == 1 {
+			base = e
+		}
+		t.AddRow(k, res.Edges(), e/base, math.Pow(float64(k), 2.0/3))
+		xs = append(xs, float64(k))
+		ys = append(ys, e)
+	}
+	fit := stats.LogLogSlope(xs, ys)
+	t.AddNote("measured k-exponent: |H| ~ k^%.2f (paper: 2/3 ≈ 0.67)", fit.Slope)
+	t.AddNote("verdict: %s (sublinear growth in k)", verdict(fit.Slope < 1.0 && fit.Slope > 0.2))
+	t.AddNote("n=%d, m=%d", g.N(), g.M())
+	return t, nil
+}

@@ -1,0 +1,118 @@
+package ext
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/gen"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+func randomConnected(n, extra int, rng *rand.Rand) *graph.Graph {
+	g := gen.RandomTree(n, rng)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestKEdgeConnectingPreservesEdgeDistances(t *testing.T) {
+	// The 2k−1-coverage construction should preserve edge-disjoint
+	// distances on small random graphs (conjecture-grade: assert on
+	// these sizes where we can verify exhaustively).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		g := randomConnected(8+rng.Intn(10), 25, rng)
+		for k := 1; k <= 2; k++ {
+			res := KEdgeConnecting(g, k)
+			bad := VerifyEdgeConnecting(g, res.Graph(), k)
+			if len(bad) != 0 {
+				t.Fatalf("trial %d k=%d: %d violations, first %+v", trial, k, len(bad), bad[0])
+			}
+		}
+	}
+}
+
+func TestKEdgeConnectingK1EqualsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(20, 40, rng)
+	a := KEdgeConnecting(g, 1)
+	b := spanner.Exact(g)
+	if a.Edges() != b.Edges() {
+		t.Fatalf("k=1 edge-connecting (%d) != exact (%d)", a.Edges(), b.Edges())
+	}
+}
+
+func TestVerifyEdgeConnectingDetectsViolations(t *testing.T) {
+	// A cycle needs all its edges for 2 edge-disjoint paths; an empty
+	// spanner must be flagged.
+	g := gen.Ring(8)
+	h := graph.New(8)
+	bad := VerifyEdgeConnecting(g, h, 2)
+	if len(bad) == 0 {
+		t.Fatal("empty spanner not flagged")
+	}
+}
+
+func TestLowStretchKConnectingSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(25, 50, rng)
+	combo := LowStretchKConnecting(g, 0.5, 2)
+	low := spanner.LowStretch(g, 0.5)
+	kc := spanner.KMIS(g, 2)
+	if combo.Edges() < low.Edges() || combo.Edges() < kc.Edges() {
+		t.Fatal("union smaller than a part")
+	}
+	if combo.Edges() > low.Edges()+kc.Edges() {
+		t.Fatal("union larger than sum of parts")
+	}
+	// Still a valid (1+ε', 1−2ε')-remote-spanner (superset of one).
+	if v := spanner.Check(g, combo.Graph(), spanner.LowStretchOf(combo.R)); v != nil {
+		t.Fatalf("%v", v)
+	}
+}
+
+func TestMeasureKStretchOnFullGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(15, 35, rng)
+	var pairs [][2]int
+	for s := 0; s < g.N(); s++ {
+		for tt := 0; tt < g.N(); tt++ {
+			pairs = append(pairs, [2]int{s, tt})
+		}
+	}
+	// H = G: stretch must be exactly 1 wherever defined.
+	worst := MeasureKStretch(g, g.Clone(), 2, pairs)
+	for kp, w := range worst {
+		if w.DG == 0 {
+			continue
+		}
+		if w.Stretch != 1 {
+			t.Fatalf("k'=%d: stretch %v on full graph (%+v)", kp+1, w.Stretch, w)
+		}
+	}
+}
+
+func TestMeasureKStretchHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnected(18, 40, rng)
+	combo := LowStretchKConnecting(g, 0.5, 2)
+	var pairs [][2]int
+	for i := 0; i < 60; i++ {
+		pairs = append(pairs, [2]int{rng.Intn(g.N()), rng.Intn(g.N())})
+	}
+	worst := MeasureKStretch(g, combo.Graph(), 2, pairs)
+	// k'=1 is covered by the KMIS union part... the combined spanner
+	// contains a 2-connecting (2,−1)-remote-spanner, so k'=2 stretch is
+	// bounded by 2 whenever defined.
+	if w := worst[1]; w.DG > 0 && w.Stretch >= 0 && w.Stretch > 2.0 {
+		t.Fatalf("k'=2 stretch %v exceeds 2 (%+v)", w.Stretch, w)
+	}
+	if w := worst[1]; w.Stretch < 0 {
+		t.Fatalf("disjoint paths lost: %+v", w)
+	}
+}

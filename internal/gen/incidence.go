@@ -1,0 +1,77 @@
+package gen
+
+import "remspan/internal/graph"
+
+// ProjectivePlane returns the point–line incidence graph of the
+// projective plane PG(2, q) for a prime q: a bipartite,
+// (q+1)-regular graph on n = 2(q²+q+1) vertices with girth 6 and
+// m = (q+1)(q²+q+1) = Θ(n^{3/2}) edges.
+//
+// These are the classical extremal C4-free graphs behind the
+// Ω(n^{1+1/k}) spanner lower bounds the paper cites (§1.2): any two
+// vertices have at most one common neighbor, so *every* edge is the
+// unique 2-path witness for its endpoints' neighborhoods — even a
+// (1,0)-REMOTE-spanner must keep all Θ(n^{3/2}) edges, matching the
+// paper's conjecture that remote-spanners cannot beat the n^{1+1/k}
+// frontier on general graphs.
+//
+// Points occupy vertex ids [0, q²+q+1); lines the rest.
+func ProjectivePlane(q int) *graph.Graph {
+	if q < 2 || !isPrime(q) {
+		panic("gen: ProjectivePlane requires a prime q >= 2")
+	}
+	reps := homogeneousReps(q)
+	k := len(reps) // q²+q+1
+	g := graph.New(2 * k)
+	for pi, p := range reps {
+		for li, l := range reps {
+			if (p[0]*l[0]+p[1]*l[1]+p[2]*l[2])%q == 0 {
+				g.AddEdge(pi, k+li)
+			}
+		}
+	}
+	return g
+}
+
+// homogeneousReps enumerates canonical representatives of the
+// projective points of GF(q)³: (1, a, b), (0, 1, a), (0, 0, 1).
+func homogeneousReps(q int) [][3]int {
+	reps := make([][3]int, 0, q*q+q+1)
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			reps = append(reps, [3]int{1, a, b})
+		}
+	}
+	for a := 0; a < q; a++ {
+		reps = append(reps, [3]int{0, 1, a})
+	}
+	reps = append(reps, [3]int{0, 0, 1})
+	return reps
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FriendshipGraph returns the windmill F_k: k triangles sharing one
+// hub vertex — the extremal "every pair has exactly one common
+// neighbor" graph (Erdős–Rényi–Sós). Useful as a small worst-case
+// fixture: all spoke edges are forced into any (1,0)-remote-spanner.
+func FriendshipGraph(k int) *graph.Graph {
+	g := graph.New(2*k + 1)
+	for i := 0; i < k; i++ {
+		a, b := 1+2*i, 2+2*i
+		g.AddEdge(0, a)
+		g.AddEdge(0, b)
+		g.AddEdge(a, b)
+	}
+	return g
+}

@@ -1,0 +1,63 @@
+package geom
+
+import "math"
+
+// DoublingDimension estimates the doubling dimension of a finite
+// metric: the smallest p such that every ball of radius R can be
+// covered by 2^p balls of radius R/2. The estimate is the log2 of the
+// largest (R/2)-packing found inside any R-ball over a sample of
+// centers and radii — a standard packing lower bound that matches the
+// covering definition up to constants.
+func DoublingDimension(m Metric) float64 {
+	n := m.Len()
+	if n <= 1 {
+		return 0
+	}
+	// Candidate radii: spread between the smallest and largest pairwise
+	// distances from a sample of anchor points.
+	maxD, minD := 0.0, math.Inf(1)
+	step := n/64 + 1
+	for i := 0; i < n; i += step {
+		for j := 0; j < n; j += step {
+			if i == j {
+				continue
+			}
+			d := m.Dist(i, j)
+			if d > maxD {
+				maxD = d
+			}
+			if d > 0 && d < minD {
+				minD = d
+			}
+		}
+	}
+	if maxD == 0 || math.IsInf(minD, 1) {
+		return 0
+	}
+	worst := 1
+	for r := maxD; r >= minD; r /= 2 {
+		for c := 0; c < n; c += step {
+			// Greedy (r/2)-packing of the ball B(c, r).
+			var packing []int
+			for v := 0; v < n; v++ {
+				if m.Dist(c, v) > r {
+					continue
+				}
+				ok := true
+				for _, u := range packing {
+					if m.Dist(u, v) <= r/2 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					packing = append(packing, v)
+				}
+			}
+			if len(packing) > worst {
+				worst = len(packing)
+			}
+		}
+	}
+	return math.Log2(float64(worst))
+}

@@ -1,0 +1,91 @@
+package geom
+
+import (
+	"math"
+
+	"remspan/internal/graph"
+)
+
+// UnitDiskGraph builds the unit-disk graph of pts with connection
+// radius r: i and j are adjacent iff their Euclidean distance is at
+// most r. A uniform cell grid of side r makes construction
+// O(n + output) for bounded densities instead of O(n²).
+func UnitDiskGraph(pts []Point, r float64) *graph.Graph {
+	n := len(pts)
+	g := graph.New(n)
+	if n == 0 || r <= 0 {
+		return g
+	}
+	// Bounding box.
+	minX, minY := pts[0][0], pts[0][1]
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		minY = math.Min(minY, p[1])
+	}
+	cell := func(p Point) (int, int) {
+		return int((p[0] - minX) / r), int((p[1] - minY) / r)
+	}
+	type cellKey struct{ x, y int }
+	buckets := make(map[cellKey][]int32, n)
+	for i, p := range pts {
+		cx, cy := cell(p)
+		buckets[cellKey{cx, cy}] = append(buckets[cellKey{cx, cy}], int32(i))
+	}
+	r2 := r * r
+	for i, p := range pts {
+		cx, cy := cell(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[cellKey{cx + dx, cy + dy}] {
+					if int32(i) >= j {
+						continue
+					}
+					q := pts[j]
+					ddx, ddy := p[0]-q[0], p[1]-q[1]
+					if ddx*ddx+ddy*ddy <= r2 {
+						g.AddEdge(i, int(j))
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// UnitBallGraph builds the unit-ball graph of an arbitrary metric with
+// connection radius r: i ~ j iff m.Dist(i, j) <= r. O(n²) — the metric
+// is abstract so no spatial index applies.
+func UnitBallGraph(m Metric, r float64) *graph.Graph {
+	n := m.Len()
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.Dist(i, j) <= r {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// WeightedEdge is a metric-weighted graph edge, used by the classical
+// geometric spanner baselines that *do* know the underlying distances.
+type WeightedEdge struct {
+	U, V int
+	W    float64
+}
+
+// BallGraphEdges returns the weighted edge list of the unit-ball graph
+// of m with radius r, sorted would be the caller's job.
+func BallGraphEdges(m Metric, r float64) []WeightedEdge {
+	var out []WeightedEdge
+	n := m.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := m.Dist(i, j); d <= r {
+				out = append(out, WeightedEdge{U: i, V: j, W: d})
+			}
+		}
+	}
+	return out
+}

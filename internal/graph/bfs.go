@@ -1,0 +1,148 @@
+package graph
+
+// Unreached marks vertices not reached by a traversal.
+const Unreached = int32(-1)
+
+// BFS returns the distance from src to every vertex (Unreached where
+// disconnected).
+func BFS(g *Graph, src int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	queue := make([]int32, 0, g.N())
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreached {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTree returns BFS parents and distances from src. parent[src] = -1
+// and parent[v] = -1 for unreachable v (distinguish via dist).
+// Parents are the smallest-id neighbor at the previous level, so the
+// tree is deterministic.
+func BFSTree(g *Graph, src int) (parent, dist []int32) {
+	dist = make([]int32, g.N())
+	parent = make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreached
+		parent[i] = -1
+	}
+	queue := make([]int32, 0, g.N())
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreached {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent, dist
+}
+
+// BFSScratch holds reusable buffers for bounded BFS so that repeated
+// per-vertex traversals do not pay an O(n) reset each call.
+type BFSScratch struct {
+	dist    []int32
+	parent  []int32
+	queue   []int32
+	touched []int32
+}
+
+// NewBFSScratch returns scratch space for graphs with up to n vertices.
+func NewBFSScratch(n int) *BFSScratch {
+	s := &BFSScratch{
+		dist:   make([]int32, n),
+		parent: make([]int32, n),
+		queue:  make([]int32, 0, n),
+	}
+	for i := range s.dist {
+		s.dist[i] = Unreached
+		s.parent[i] = -1
+	}
+	return s
+}
+
+// Bounded runs a BFS from src limited to distance maxDist and returns
+// (dist, parent, visited) views valid until the next call. dist and
+// parent are full-length slices with Unreached/-1 outside the ball;
+// visited lists the reached vertices in BFS order (src first).
+func (s *BFSScratch) Bounded(g *Graph, src, maxDist int) (dist, parent, visited []int32) {
+	// Reset only the vertices touched by the previous run.
+	for _, v := range s.touched {
+		s.dist[v] = Unreached
+		s.parent[v] = -1
+	}
+	s.touched = s.touched[:0]
+	s.queue = s.queue[:0]
+
+	s.dist[src] = 0
+	s.touched = append(s.touched, int32(src))
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		if int(s.dist[u]) >= maxDist {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if s.dist[v] == Unreached {
+				s.dist[v] = s.dist[u] + 1
+				s.parent[v] = u
+				s.touched = append(s.touched, v)
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return s.dist, s.parent, s.queue
+}
+
+// Eccentricity returns the maximum finite distance from src, or -1 if
+// src has no reachable vertices besides itself and n > 1... it is 0 for
+// a singleton component.
+func Eccentricity(g *Graph, src int) int {
+	dist := BFS(g, src)
+	ecc := 0
+	for _, d := range dist {
+		if d != Unreached && int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the largest eccentricity over all vertices of a
+// connected graph; for disconnected graphs it is the largest finite
+// distance. O(n·m).
+func Diameter(g *Graph) int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		if e := Eccentricity(g, u); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// AllPairsDistances returns the full distance matrix via n BFS runs.
+// Intended for verification on small graphs: O(n·m) time, O(n²) space.
+func AllPairsDistances(g *Graph) [][]int32 {
+	d := make([][]int32, g.N())
+	for u := range d {
+		d[u] = BFS(g, u)
+	}
+	return d
+}

@@ -1,0 +1,67 @@
+package graph
+
+// Components labels every vertex with a component id in [0, count) and
+// returns the labels plus the component count. Ids are assigned in
+// order of the smallest vertex of each component.
+func Components(g *Graph) (label []int32, count int) {
+	label = make([]int32, g.N())
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < g.N(); s++ {
+		if label[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		label[s] = id
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if label[v] == -1 {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// IsConnected reports whether g is connected (true for n <= 1).
+func IsConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, c := Components(g)
+	return c == 1
+}
+
+// LargestComponent returns a keep-mask selecting the largest connected
+// component (ties broken by smallest component id) and its size.
+func LargestComponent(g *Graph) (keep []bool, size int) {
+	label, count := Components(g)
+	if count == 0 {
+		return make([]bool, g.N()), 0
+	}
+	sizes := make([]int, count)
+	for _, l := range label {
+		sizes[l]++
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	keep = make([]bool, g.N())
+	for v, l := range label {
+		if int(l) == best {
+			keep[v] = true
+		}
+	}
+	return keep, sizes[best]
+}

@@ -1,0 +1,58 @@
+package graph
+
+import "testing"
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	label, count := Components(g)
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("component 0 split")
+	}
+	if label[3] != label[4] || label[3] == label[0] {
+		t.Fatal("component labels wrong")
+	}
+	if label[5] == label[0] || label[5] == label[3] {
+		t.Fatal("isolated vertex should be its own component")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	g := pathGraph(4)
+	if !IsConnected(g) {
+		t.Fatal("path should be connected")
+	}
+	g2 := New(4)
+	g2.AddEdge(0, 1)
+	if IsConnected(g2) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !IsConnected(New(1)) || !IsConnected(New(0)) {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	keep, size := LargestComponent(g)
+	if size != 4 {
+		t.Fatalf("size=%d, want 4", size)
+	}
+	for _, v := range []int{2, 3, 4, 5} {
+		if !keep[v] {
+			t.Fatalf("vertex %d should be kept", v)
+		}
+	}
+	if keep[0] || keep[6] {
+		t.Fatal("wrong vertices kept")
+	}
+}

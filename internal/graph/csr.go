@@ -1,0 +1,63 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph: one
+// contiguous target array indexed by per-vertex offsets. Traversal-heavy
+// sweeps (all-roots BFS during spanner construction/verification) are
+// memory-bound; CSR removes the per-vertex slice headers and pointer
+// chases of the mutable representation (ablation:
+// BenchmarkAblationCSR).
+type CSR struct {
+	offsets []int32
+	targets []int32
+}
+
+// NewCSR snapshots g. The snapshot does not observe later mutations.
+func NewCSR(g *Graph) *CSR {
+	n := g.N()
+	c := &CSR{
+		offsets: make([]int32, n+1),
+		targets: make([]int32, 0, 2*g.M()),
+	}
+	for u := 0; u < n; u++ {
+		c.offsets[u] = int32(len(c.targets))
+		c.targets = append(c.targets, g.Neighbors(u)...)
+	}
+	c.offsets[n] = int32(len(c.targets))
+	return c
+}
+
+// N returns the vertex count.
+func (c *CSR) N() int { return len(c.offsets) - 1 }
+
+// M returns the edge count.
+func (c *CSR) M() int { return len(c.targets) / 2 }
+
+// Degree returns the degree of u.
+func (c *CSR) Degree(u int) int { return int(c.offsets[u+1] - c.offsets[u]) }
+
+// Neighbors returns u's sorted adjacency slice (shared, do not modify).
+func (c *CSR) Neighbors(u int) []int32 {
+	return c.targets[c.offsets[u]:c.offsets[u+1]]
+}
+
+// BFS computes distances from src into dist (len ≥ N, overwritten),
+// reusing queue as scratch; returns the visit order. Semantics match
+// graph.BFS.
+func (c *CSR) BFS(src int, dist []int32, queue []int32) []int32 {
+	for i := range dist[:c.N()] {
+		dist[i] = Unreached
+	}
+	queue = queue[:0]
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range c.Neighbors(int(u)) {
+			if dist[v] == Unreached {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return queue
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRMirrorsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(25)
+	for i := 0; i < 80; i++ {
+		u, v := rng.Intn(25), rng.Intn(25)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	c := NewCSR(g)
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("n=%d/%d m=%d/%d", c.N(), g.N(), c.M(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if c.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree(%d)", u)
+		}
+		a, b := c.Neighbors(u), g.Neighbors(u)
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("neighbors(%d) differ", u)
+			}
+		}
+	}
+}
+
+func TestCSRBFSMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		c := NewCSR(g)
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			want := BFS(g, src)
+			c.BFS(src, dist, queue)
+			for v := 0; v < n; v++ {
+				if dist[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRSnapshotIsolation(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := NewCSR(g)
+	g.AddEdge(1, 2)
+	if c.M() != 1 {
+		t.Fatal("snapshot observed a later mutation")
+	}
+}
+
+func TestCSREmpty(t *testing.T) {
+	c := NewCSR(New(0))
+	if c.N() != 0 || c.M() != 0 {
+		t.Fatal("empty CSR")
+	}
+}

@@ -1,0 +1,124 @@
+package graph
+
+import "sort"
+
+// EdgeSet is a set of undirected edges over vertices 0..n-1, used to
+// accumulate spanner edges (e.g. unions of dominating trees) before
+// materializing a Graph.
+type EdgeSet struct {
+	n   int
+	set map[uint64]struct{}
+}
+
+// NewEdgeSet returns an empty edge set over n vertices.
+func NewEdgeSet(n int) *EdgeSet {
+	return &EdgeSet{n: n, set: make(map[uint64]struct{})}
+}
+
+// NewEdgeSetFromGraph returns the edge set of g.
+func NewEdgeSetFromGraph(g *Graph) *EdgeSet {
+	s := NewEdgeSet(g.N())
+	s.AddGraph(g)
+	return s
+}
+
+func (s *EdgeSet) key(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// N returns the vertex count the set was created with.
+func (s *EdgeSet) N() int { return s.n }
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int { return len(s.set) }
+
+// Add inserts edge {u, v}, reporting whether it was new. Self loops are
+// rejected.
+func (s *EdgeSet) Add(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u < 0 || v < 0 || u >= s.n || v >= s.n {
+		panic("graph: edge endpoint out of range")
+	}
+	k := s.key(u, v)
+	if _, ok := s.set[k]; ok {
+		return false
+	}
+	s.set[k] = struct{}{}
+	return true
+}
+
+// Has reports whether {u, v} is in the set.
+func (s *EdgeSet) Has(u, v int) bool {
+	if u == v {
+		return false
+	}
+	_, ok := s.set[s.key(u, v)]
+	return ok
+}
+
+// AddGraph inserts every edge of g.
+func (s *EdgeSet) AddGraph(g *Graph) {
+	g.EachEdge(func(u, v int) { s.Add(u, v) })
+}
+
+// AddTree inserts every edge of t.
+func (s *EdgeSet) AddTree(t *Tree) {
+	for _, e := range t.Edges() {
+		s.Add(int(e[0]), int(e[1]))
+	}
+}
+
+// Union inserts every edge of o into s.
+func (s *EdgeSet) Union(o *EdgeSet) {
+	for k := range o.set {
+		s.set[k] = struct{}{}
+	}
+}
+
+// Edges returns the edges sorted lexicographically with u < v.
+func (s *EdgeSet) Edges() [][2]int32 {
+	out := make([][2]int32, 0, len(s.set))
+	for k := range s.set {
+		out = append(out, [2]int32{int32(k >> 32), int32(uint32(k))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Graph materializes the edge set as a Graph on n vertices.
+func (s *EdgeSet) Graph() *Graph {
+	g := New(s.n)
+	for k := range s.set {
+		g.AddEdge(int(k>>32), int(uint32(k)))
+	}
+	return g
+}
+
+// Clone returns a deep copy of the set.
+func (s *EdgeSet) Clone() *EdgeSet {
+	c := NewEdgeSet(s.n)
+	for k := range s.set {
+		c.set[k] = struct{}{}
+	}
+	return c
+}
+
+// SubsetOf reports whether every edge of s is an edge of g.
+func (s *EdgeSet) SubsetOf(g *Graph) bool {
+	for k := range s.set {
+		if !g.HasEdge(int(k>>32), int(uint32(k))) {
+			return false
+		}
+	}
+	return true
+}

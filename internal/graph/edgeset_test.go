@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEdgeSetBasic(t *testing.T) {
+	s := NewEdgeSet(5)
+	if !s.Add(1, 2) {
+		t.Fatal("Add new = false")
+	}
+	if s.Add(2, 1) {
+		t.Fatal("Add reversed duplicate = true")
+	}
+	if s.Add(3, 3) {
+		t.Fatal("self loop accepted")
+	}
+	if !s.Has(2, 1) || s.Has(0, 1) {
+		t.Fatal("Has wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len=%d, want 1", s.Len())
+	}
+}
+
+func TestEdgeSetGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New(20)
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	s := NewEdgeSet(20)
+	s.AddGraph(g)
+	if s.Len() != g.M() {
+		t.Fatalf("edge set len %d != m %d", s.Len(), g.M())
+	}
+	if !s.Graph().Equal(g) {
+		t.Fatal("round trip lost edges")
+	}
+	if !s.SubsetOf(g) {
+		t.Fatal("SubsetOf self false")
+	}
+}
+
+func TestEdgeSetUnionAndClone(t *testing.T) {
+	a := NewEdgeSet(4)
+	a.Add(0, 1)
+	b := NewEdgeSet(4)
+	b.Add(1, 2)
+	b.Add(0, 1)
+	c := a.Clone()
+	a.Union(b)
+	if a.Len() != 2 {
+		t.Fatalf("union len=%d, want 2", a.Len())
+	}
+	if c.Len() != 1 {
+		t.Fatal("clone affected by union")
+	}
+}
+
+func TestEdgeSetEdgesSorted(t *testing.T) {
+	s := NewEdgeSet(5)
+	s.Add(3, 4)
+	s.Add(0, 2)
+	s.Add(0, 1)
+	es := s.Edges()
+	want := [][2]int32{{0, 1}, {0, 2}, {3, 4}}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("edges = %v", es)
+		}
+	}
+}
+
+func TestEdgeSetAddTree(t *testing.T) {
+	g := pathGraph(4)
+	parent, _ := BFSTree(g, 0)
+	tr := NewTree(4, 0)
+	tr.AddPath(parent, 3)
+	s := NewEdgeSet(4)
+	s.AddTree(tr)
+	if s.Len() != 3 || !s.Has(0, 1) || !s.Has(1, 2) || !s.Has(2, 3) {
+		t.Fatalf("tree edges missing: %v", s.Edges())
+	}
+	if !s.SubsetOf(g) {
+		t.Fatal("tree edges should be subset of host")
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList ensures the parser never panics and that anything it
+// accepts round-trips through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("3 2\n0 1\n1 2\n")
+	f.Add("0 0\n")
+	f.Add("5 1\n4 0\n")
+	f.Add("2 1\n0 1\n0 1\n")
+	f.Add("1 0")
+	f.Add("-3 -7\n")
+	f.Add("3 2\n0 1\n")
+	f.Add("huge nonsense")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if !g.Equal(g2) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzEdgeSetKeys ensures the packed edge-set key is collision-free
+// over its domain.
+func FuzzEdgeSetKeys(f *testing.F) {
+	f.Add(uint16(0), uint16(1), uint16(2), uint16(3))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint16) {
+		n := 1 << 16
+		s := NewEdgeSet(n)
+		u1, v1 := int(a), int(b)
+		u2, v2 := int(c), int(d)
+		if u1 == v1 || u2 == v2 {
+			return
+		}
+		s.Add(u1, v1)
+		norm := func(x, y int) (int, int) {
+			if x > y {
+				return y, x
+			}
+			return x, y
+		}
+		p1a, p1b := norm(u1, v1)
+		p2a, p2b := norm(u2, v2)
+		samePair := p1a == p2a && p1b == p2b
+		if s.Has(u2, v2) != samePair {
+			t.Fatalf("collision: {%d,%d} vs {%d,%d}", u1, v1, u2, v2)
+		}
+	})
+}

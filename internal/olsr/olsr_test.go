@@ -1,0 +1,193 @@
+package olsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/gen"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+	"remspan/internal/mobility"
+	"remspan/internal/spanner"
+)
+
+func testUDG(n int, side float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.UniformBox(n, 2, side, rng)
+	g := geom.UnitDiskGraph(pts, 1.2)
+	keep, _ := graph.LargestComponent(g)
+	return g.InducedSubgraph(keep)
+}
+
+func samplePairs(n, count int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	return pairs
+}
+
+func TestStaticConvergence(t *testing.T) {
+	g := testUDG(120, 3, 1)
+	s := New(g, DefaultParams())
+	// Warm up: hold time + a couple of TC floods across the diameter.
+	s.Run(20)
+	pairs := samplePairs(g.N(), 80, 2)
+	rep := s.RouteCheck(pairs)
+	if rep.Delivered != rep.Checked {
+		t.Fatalf("delivered %d of %d after warm-up", rep.Delivered, rep.Checked)
+	}
+	if rep.MaxStretch > 1.0 {
+		t.Fatalf("static OLSR stretch %v > 1 (MPR links preserve shortest paths)", rep.MaxStretch)
+	}
+	if !s.Converged(pairs) {
+		t.Fatal("Converged() disagrees with RouteCheck")
+	}
+}
+
+func TestAdvertisedSpannerIsRemoteSpanner(t *testing.T) {
+	g := testUDG(100, 3, 3)
+	s := New(g, DefaultParams())
+	s.Run(20)
+	h := s.AdvertisedSpanner().Graph()
+	// The union of advertised MPR links must be a (1,0)-remote-spanner
+	// of the (static) physical graph.
+	if v := spanner.Check(g, h, spanner.NewStretch(1, 0)); v != nil {
+		t.Fatalf("advertised spanner violates (1,0): %v", v)
+	}
+	if h.M() >= g.M() && g.AvgDegree() > 8 {
+		t.Fatalf("no advertisement savings: %d of %d", h.M(), g.M())
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	g := testUDG(60, 2.5, 4)
+	s := New(g, DefaultParams())
+	s.Run(10)
+	st := s.Stats()
+	if st.HelloTx == 0 || st.Words == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	// HELLOs: one per node per tick (interval 1).
+	if want := int64(10 * g.N()); st.HelloTx != want {
+		t.Fatalf("hello tx %d, want %d", st.HelloTx, want)
+	}
+	if st.TCTx == 0 {
+		t.Fatal("no TC traffic in a multi-hop network")
+	}
+}
+
+func TestLinkFailureReconvergence(t *testing.T) {
+	g := testUDG(100, 3, 5)
+	s := New(g, DefaultParams())
+	s.Run(20)
+	pairs := samplePairs(g.N(), 60, 6)
+	if !s.Converged(pairs) {
+		t.Fatal("did not converge before failure")
+	}
+	// Fail a high-degree node's links (keep the graph connected by
+	// retrying seeds if needed).
+	hub := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+	}
+	g2 := g.RemoveVertex(hub)
+	keep, _ := graph.LargestComponent(g2)
+	if cnt := countTrue(keep); cnt < g.N()-1 {
+		t.Skip("hub removal disconnected the network")
+	}
+	s.SetGraph(g2)
+	// The protocol must re-converge within hold time + flooding time.
+	deadline := 4 * s.P.HoldTicks
+	var converged bool
+	pairs2 := filterPairs(pairs, hub)
+	for i := 0; i < deadline; i++ {
+		s.Tick()
+		if s.Converged(pairs2) {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		rep := s.RouteCheck(pairs2)
+		t.Fatalf("not reconverged within %d ticks: %d/%d delivered, stretch %v",
+			deadline, rep.Delivered, rep.Checked, rep.MaxStretch)
+	}
+}
+
+func TestMobilityDeliveryStaysHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := mobility.NewWaypoint(150, 4, 0.005, 0.02, rng) // slow pedestrians
+	s := New(w.Graph(1.2), DefaultParams())
+	s.Run(20) // warm up static
+	pairs := samplePairs(150, 50, 8)
+	totalChecked, totalDelivered := 0, 0
+	for step := 0; step < 30; step++ {
+		w.Step()
+		s.SetGraph(w.Graph(1.2))
+		s.Tick()
+		rep := s.RouteCheck(pairs)
+		totalChecked += rep.Checked
+		totalDelivered += rep.Delivered
+	}
+	if totalChecked == 0 {
+		t.Skip("degenerate mobility sample")
+	}
+	ratio := float64(totalDelivered) / float64(totalChecked)
+	// Mobility genuinely loses some frames to stale links; require the
+	// protocol to keep the vast majority flowing.
+	if ratio < 0.85 {
+		t.Fatalf("delivery ratio %.2f under slow mobility", ratio)
+	}
+}
+
+func TestKCoverageParams(t *testing.T) {
+	g := testUDG(90, 3, 9)
+	p := DefaultParams()
+	p.K = 2
+	s := New(g, p)
+	s.Run(20)
+	pairs := samplePairs(g.N(), 40, 10)
+	if !s.Converged(pairs) {
+		t.Fatal("k=2 OLSR did not converge")
+	}
+	// k=2 advertises at least as many links as k=1.
+	s1 := New(g, DefaultParams())
+	s1.Run(20)
+	if s.AdvertisedSpanner().Len() < s1.AdvertisedSpanner().Len() {
+		t.Fatal("k=2 advertised fewer links than k=1")
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	g := gen.Ring(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(g, Params{HelloInterval: 0, TCInterval: 1, HoldTicks: 4})
+}
+
+func countTrue(b []bool) int {
+	c := 0
+	for _, x := range b {
+		if x {
+			c++
+		}
+	}
+	return c
+}
+
+func filterPairs(pairs [][2]int, exclude int) [][2]int {
+	var out [][2]int
+	for _, p := range pairs {
+		if p[0] != exclude && p[1] != exclude {
+			out = append(out, p)
+		}
+	}
+	return out
+}

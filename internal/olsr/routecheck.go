@@ -1,0 +1,94 @@
+package olsr
+
+import (
+	"remspan/internal/graph"
+)
+
+// RouteReport summarizes data-plane quality at an instant: greedy
+// forwarding over each hop's *believed* view, transmitted over the
+// *actual* physical graph.
+type RouteReport struct {
+	Checked    int     // pairs with a route in the physical graph
+	Delivered  int     // pairs whose packet reached the destination
+	MaxStretch float64 // worst hops/d_G among delivered pairs
+	AvgStretch float64
+}
+
+// RouteCheck routes one packet per pair. At every hop the current
+// holder picks the neighbor it believes is closest to the destination
+// in its own view H_u; the frame is lost if that link no longer exists
+// physically (stale beliefs during mobility).
+func (s *Sim) RouteCheck(pairs [][2]int) RouteReport {
+	var rep RouteReport
+	sum := 0.0
+	n := len(s.nodes)
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		if src == dst {
+			continue
+		}
+		dg := graph.BFS(s.g, src)[dst]
+		if dg == graph.Unreached {
+			continue
+		}
+		rep.Checked++
+		hops, ok := s.routeOne(src, dst, n+5)
+		if !ok {
+			continue
+		}
+		rep.Delivered++
+		str := float64(hops) / float64(dg)
+		sum += str
+		if str > rep.MaxStretch {
+			rep.MaxStretch = str
+		}
+	}
+	if rep.Delivered > 0 {
+		rep.AvgStretch = sum / float64(rep.Delivered)
+	}
+	return rep
+}
+
+func (s *Sim) routeOne(src, dst, maxHops int) (hops int, ok bool) {
+	cur := src
+	for h := 0; h < maxHops; h++ {
+		if cur == dst {
+			return h, true
+		}
+		nd := s.nodes[cur]
+		// Direct delivery if the destination is a believed neighbor and
+		// the link physically exists.
+		if _, isNbr := nd.nbrs[int32(dst)]; isNbr && s.g.HasEdge(cur, dst) {
+			cur = dst
+			continue
+		}
+		view := s.View(cur)
+		dist := graph.BFS(view, dst)
+		best, bestD := int32(-1), int32(0)
+		for v := range nd.nbrs {
+			d := dist[v]
+			if d == graph.Unreached {
+				continue
+			}
+			if best == -1 || d < bestD || (d == bestD && v < best) {
+				best, bestD = v, d
+			}
+		}
+		if best == -1 {
+			return 0, false // no believed route
+		}
+		if !s.g.HasEdge(cur, int(best)) {
+			return 0, false // stale link: frame lost
+		}
+		cur = int(best)
+	}
+	return 0, false
+}
+
+// Converged reports whether every sampled pair routes successfully with
+// exact stretch — the steady-state guarantee of the (1,0)-remote-
+// spanner advertisement (k=1 MPR links preserve shortest paths).
+func (s *Sim) Converged(pairs [][2]int) bool {
+	rep := s.RouteCheck(pairs)
+	return rep.Delivered == rep.Checked && rep.MaxStretch <= 1.0
+}

@@ -1,0 +1,104 @@
+// Package oracle builds approximate distance oracles from
+// remote-spanners — one of the classical spanner applications the paper
+// lists in its introduction, adapted to the remote setting: the oracle
+// stores the spanner H plus each node's own adjacency (exactly the
+// knowledge a router has), and answers d̂(u, v) = d_{H_u}(u, v), which
+// the remote-spanner property bounds by α·d_G(u, v) + β.
+//
+// Queries run a bidirectional-flavored BFS over H seeded with u's
+// G-edges; storage is |E(H)| + Σdeg words instead of the n² of an exact
+// all-pairs table.
+package oracle
+
+import (
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+// Oracle answers approximate distance queries over a fixed graph.
+type Oracle struct {
+	g  *graph.Graph // only u's own row is consulted per query
+	h  *graph.Graph // the advertised remote-spanner
+	st spanner.Stretch
+
+	// per-query scratch (the oracle is not safe for concurrent use;
+	// Clone per goroutine).
+	scratch *spanner.ViewScratch
+}
+
+// New builds an oracle from a graph and a remote-spanner of it with the
+// given guarantee.
+func New(g, h *graph.Graph, st spanner.Stretch) *Oracle {
+	return &Oracle{g: g, h: h, st: st, scratch: spanner.NewViewScratch(g.N())}
+}
+
+// Clone returns an independently usable oracle sharing the immutable
+// graph data.
+func (o *Oracle) Clone() *Oracle {
+	return &Oracle{g: o.g, h: o.h, st: o.st, scratch: spanner.NewViewScratch(o.g.N())}
+}
+
+// Stretch returns the guarantee the oracle answers under:
+// d_G(u,v) ≤ Query(u,v) ≤ α·d_G(u,v) + β.
+func (o *Oracle) Stretch() spanner.Stretch { return o.st }
+
+// StorageWords returns the oracle's storage footprint in int32 words:
+// the spanner edges (twice, adjacency form) plus the query node's
+// neighbor lists.
+func (o *Oracle) StorageWords() int {
+	return 4*o.h.M() + 2*o.g.M()
+}
+
+// Query returns d_{H_u}(u, v): an upper bound on d_G(u, v) within the
+// oracle's stretch, or -1 when v is unreachable in H_u.
+func (o *Oracle) Query(u, v int) int {
+	if u == v {
+		return 0
+	}
+	if o.g.HasEdge(u, v) {
+		return 1
+	}
+	d := o.scratch.BFS(o.g, o.h, u)[v]
+	return int(d)
+}
+
+// QueryBatch answers distances from u to every target in one BFS.
+func (o *Oracle) QueryBatch(u int, targets []int) []int {
+	dist := o.scratch.BFS(o.g, o.h, u)
+	out := make([]int, len(targets))
+	for i, t := range targets {
+		switch {
+		case t == u:
+			out[i] = 0
+		case o.g.HasEdge(u, t):
+			out[i] = 1
+		default:
+			out[i] = int(dist[t])
+		}
+	}
+	return out
+}
+
+// Validate checks the oracle's two-sided guarantee on all pairs:
+// d_G ≤ Query ≤ α·d_G + β (upper side only for non-adjacent pairs, as
+// the remote-spanner property dictates). Returns a violating pair or
+// (-1, -1).
+func (o *Oracle) Validate() (int, int) {
+	q := o.Clone()
+	for u := 0; u < o.g.N(); u++ {
+		dg := graph.BFS(o.g, u)
+		for v := 0; v < o.g.N(); v++ {
+			if u == v || dg[v] == graph.Unreached {
+				continue
+			}
+			est := q.Query(u, v)
+			if est < int(dg[v]) {
+				return u, v // oracle must never underestimate
+			}
+			if dg[v] >= 2 && !o.st.Holds(int64(dg[v]), int64(est)) {
+				return u, v
+			}
+		}
+	}
+	return -1, -1
+}

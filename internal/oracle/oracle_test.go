@@ -1,0 +1,114 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/gen"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+func randomConnected(n, extra int, rng *rand.Rand) *graph.Graph {
+	g := gen.RandomTree(n, rng)
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestExactOracleIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(20+rng.Intn(30), 60, rng)
+		res := spanner.Exact(g)
+		o := New(g, res.Graph(), spanner.NewStretch(1, 0))
+		d := graph.AllPairsDistances(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if got := o.Query(u, v); got != int(d[u][v]) {
+					t.Fatalf("trial %d: Query(%d,%d)=%d, want %d", trial, u, v, got, d[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestLowStretchOracleGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(50, 100, rng)
+	res := spanner.LowStretch(g, 0.5)
+	o := New(g, res.Graph(), spanner.LowStretchOf(res.R))
+	if u, v := o.Validate(); u != -1 {
+		t.Fatalf("guarantee violated at (%d,%d)", u, v)
+	}
+}
+
+func TestOracleNeverUnderestimates(t *testing.T) {
+	// Even with a terrible spanner (empty H), estimates are either -1
+	// (unreachable beyond neighbors) or exact for trivial cases — never
+	// below d_G.
+	g := gen.Ring(10)
+	o := New(g, graph.New(10), spanner.NewStretch(1, 0))
+	d := graph.AllPairsDistances(g)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if u == v {
+				continue
+			}
+			est := o.Query(u, v)
+			if est != -1 && est < int(d[u][v]) {
+				t.Fatalf("underestimate at (%d,%d): %d < %d", u, v, est, d[u][v])
+			}
+		}
+	}
+}
+
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(40, 80, rng)
+	res := spanner.TwoConnecting(g)
+	o := New(g, res.Graph(), spanner.NewStretch(2, -1))
+	targets := []int{0, 5, 17, 39, 12}
+	for u := 0; u < g.N(); u += 7 {
+		batch := o.QueryBatch(u, targets)
+		q := o.Clone()
+		for i, tgt := range targets {
+			if got := q.Query(u, tgt); got != batch[i] {
+				t.Fatalf("batch disagrees at u=%d t=%d: %d vs %d", u, tgt, batch[i], got)
+			}
+		}
+	}
+}
+
+func TestStorageSavings(t *testing.T) {
+	// The oracle's storage must be far below the n² distance table on a
+	// dense UDG-like input.
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(300, 8000, rng)
+	res := spanner.Exact(g)
+	o := New(g, res.Graph(), spanner.NewStretch(1, 0))
+	if o.StorageWords() >= g.N()*g.N() {
+		t.Fatalf("storage %d not below n²=%d", o.StorageWords(), g.N()*g.N())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := gen.Ring(12)
+	res := spanner.Exact(g)
+	o := New(g, res.Graph(), spanner.NewStretch(1, 0))
+	c := o.Clone()
+	// Interleave queries — scratch reuse must not leak between clones.
+	a1 := o.Query(0, 6)
+	b1 := c.Query(3, 9)
+	a2 := o.Query(0, 6)
+	if a1 != a2 || b1 != c.Query(3, 9) {
+		t.Fatal("clone interference")
+	}
+	if o.Stretch() != c.Stretch() {
+		t.Fatal("stretch metadata lost")
+	}
+}

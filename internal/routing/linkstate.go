@@ -1,0 +1,161 @@
+// Package routing implements the paper's motivating application layer:
+// link-state routing over an advertised remote-spanner. Each node knows
+// its own neighbors (hello protocol) plus the flooded sub-graph H, so
+// it routes greedily on its augmented view H_u; the remote-spanner
+// property bounds the resulting route length by α·d_G + β (§1).
+// The package also provides OLSR-style multipoint-relay flooding and
+// disjoint-path multipath routing with failure injection.
+package routing
+
+import (
+	"remspan/internal/flow"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+// Route is the outcome of a greedy link-state forwarding simulation.
+type Route struct {
+	Path []int32 // s ... t (empty when !OK)
+	Hops int
+	OK   bool
+}
+
+// GreedyRoute simulates hop-by-hop greedy forwarding from s to t: the
+// packet at node u is forwarded to the G-neighbor of u closest to t in
+// u's own view H_u (ties to the smallest id). This is exactly the
+// forwarding rule of §1; the paper shows the route length is at most
+// d_{H_s}(s, t).
+func GreedyRoute(g, h *graph.Graph, s, t int) Route {
+	if s == t {
+		return Route{Path: []int32{int32(s)}, OK: true}
+	}
+	maxHops := g.N() + 1
+	path := []int32{int32(s)}
+	cur := s
+	for hops := 0; hops < maxHops; hops++ {
+		if cur == t {
+			return Route{Path: path, Hops: len(path) - 1, OK: true}
+		}
+		if g.HasEdge(cur, t) {
+			path = append(path, int32(t))
+			cur = t
+			continue
+		}
+		// Distances from t in cur's own view H_cur (undirected, so a
+		// single BFS from t serves all of cur's neighbors).
+		d := viewBFSFrom(g, h, cur, t)
+		best, bestD := int32(-1), int32(-1)
+		for _, nb := range g.Neighbors(cur) {
+			dv := d[nb]
+			if dv == graph.Unreached {
+				continue
+			}
+			if best == -1 || dv < bestD || (dv == bestD && nb < best) {
+				best, bestD = nb, dv
+			}
+		}
+		if best == -1 {
+			return Route{}
+		}
+		path = append(path, best)
+		cur = int(best)
+	}
+	return Route{}
+}
+
+// viewBFSFrom returns distances from src in the view H_owner (H plus
+// owner's G-incident edges).
+func viewBFSFrom(g, h *graph.Graph, owner, src int) []int32 {
+	n := g.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Unreached
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	ownerNb := g.Neighbors(owner)
+	inOwnerNb := func(v int32) bool {
+		return g.HasEdge(owner, int(v))
+	}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		push := func(v int32) {
+			if dist[v] == graph.Unreached {
+				dist[v] = dist[x] + 1
+				queue = append(queue, v)
+			}
+		}
+		for _, v := range h.Neighbors(int(x)) {
+			push(v)
+		}
+		// Augmented edges: owner ↔ its G-neighbors.
+		if int(x) == owner {
+			for _, v := range ownerNb {
+				push(v)
+			}
+		} else if inOwnerNb(x) {
+			push(int32(owner))
+		}
+	}
+	return dist
+}
+
+// StretchStats summarizes greedy-routing quality over a set of pairs.
+type StretchStats struct {
+	Pairs      int
+	Delivered  int
+	MaxStretch float64
+	AvgStretch float64
+	MaxHops    int
+}
+
+// MeasureRouting runs GreedyRoute over the given pairs and compares the
+// hop counts with shortest-path distances in g.
+func MeasureRouting(g, h *graph.Graph, pairs [][2]int) StretchStats {
+	var st StretchStats
+	sum := 0.0
+	scratch := graph.NewBFSScratch(g.N())
+	for _, p := range pairs {
+		s, t := p[0], p[1]
+		if s == t {
+			continue
+		}
+		dg, _, _ := scratch.Bounded(g, s, g.N())
+		if dg[t] == graph.Unreached {
+			continue
+		}
+		st.Pairs++
+		r := GreedyRoute(g, h, s, t)
+		if !r.OK {
+			continue
+		}
+		st.Delivered++
+		stretch := float64(r.Hops) / float64(dg[t])
+		sum += stretch
+		if stretch > st.MaxStretch {
+			st.MaxStretch = stretch
+		}
+		if r.Hops > st.MaxHops {
+			st.MaxHops = r.Hops
+		}
+	}
+	if st.Delivered > 0 {
+		st.AvgStretch = sum / float64(st.Delivered)
+	}
+	return st
+}
+
+// AdvertisedCost returns the number of links a routing protocol floods
+// network-wide: the spanner's edge count for remote-spanner link-state
+// vs all edges for classic link-state. (Convenience for experiments.)
+func AdvertisedCost(g *graph.Graph, h *graph.EdgeSet) (spannerLinks, fullLinks int) {
+	return h.Len(), g.M()
+}
+
+// DisjointRoutes returns k minimum-total-length internally disjoint
+// routes from s to t in s's view H_s — the multipath routing enabled by
+// k-connecting remote-spanners (§3).
+func DisjointRoutes(g, h *graph.Graph, s, t, k int) (flow.Result, bool) {
+	hs := spanner.View(g, h, s)
+	return flow.VertexDisjointPaths(hs, s, t, k)
+}

@@ -1,0 +1,108 @@
+package routing
+
+import (
+	"remspan/internal/graph"
+)
+
+// Table is one router's forwarding table: the next hop toward every
+// destination, derived from shortest paths in its own augmented view
+// H_u (what a link-state daemon actually installs in the FIB).
+type Table struct {
+	Owner int
+	Next  []int32 // Next[t] = neighbor to forward to, -1 unreachable, Owner for t==Owner
+	Dist  []int32 // believed distance in H_u
+}
+
+// BuildTable computes u's forwarding table over its view H_u.
+func BuildTable(g, h *graph.Graph, u int) Table {
+	n := g.N()
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Unreached
+		parent[i] = -1
+	}
+	dist[u] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(u))
+	// BFS in H_u: u's edges from g, the rest from h (smallest-id parent
+	// first, deterministic like graph.BFSTree).
+	for _, v := range g.Neighbors(u) {
+		if dist[v] == graph.Unreached {
+			dist[v] = 1
+			parent[v] = int32(u)
+			queue = append(queue, v)
+		}
+	}
+	for head := 1; head < len(queue); head++ {
+		x := queue[head]
+		for _, v := range h.Neighbors(int(x)) {
+			if dist[v] == graph.Unreached {
+				dist[v] = dist[x] + 1
+				parent[v] = x
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Next hop: the depth-1 ancestor of each destination.
+	next := make([]int32, n)
+	for t := range next {
+		next[t] = -1
+	}
+	next[u] = int32(u)
+	var resolve func(t int32) int32
+	resolve = func(t int32) int32 {
+		if next[t] != -1 {
+			return next[t]
+		}
+		if parent[t] == int32(u) {
+			next[t] = t
+			return t
+		}
+		next[t] = resolve(parent[t])
+		return next[t]
+	}
+	for t := 0; t < n; t++ {
+		if dist[t] != graph.Unreached && t != u {
+			resolve(int32(t))
+		}
+	}
+	return Table{Owner: u, Next: next, Dist: dist}
+}
+
+// BuildTables computes every router's table.
+func BuildTables(g, h *graph.Graph) []Table {
+	out := make([]Table, g.N())
+	for u := 0; u < g.N(); u++ {
+		out[u] = BuildTable(g, h, u)
+	}
+	return out
+}
+
+// TableRoute forwards a packet hop by hop, each hop consulting its own
+// table — the production data path of link-state routing. The
+// remote-spanner property guarantees loop-free delivery with route
+// length at most d_{H_s}(s, t): each hop's believed distance strictly
+// decreases (d_{H_{u'}}(u', t) ≤ d_{H_u}(u, t) − 1, §1).
+func TableRoute(tables []Table, g *graph.Graph, s, t int) Route {
+	if s == t {
+		return Route{Path: []int32{int32(s)}, OK: true}
+	}
+	path := []int32{int32(s)}
+	cur := s
+	for hops := 0; hops <= g.N(); hops++ {
+		if cur == t {
+			return Route{Path: path, Hops: len(path) - 1, OK: true}
+		}
+		nh := tables[cur].Next[t]
+		if nh < 0 {
+			return Route{}
+		}
+		if !g.HasEdge(cur, int(nh)) {
+			return Route{} // table references a non-link (stale/bad input)
+		}
+		path = append(path, nh)
+		cur = int(nh)
+	}
+	return Route{}
+}

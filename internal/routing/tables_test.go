@@ -1,0 +1,146 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"remspan/internal/gen"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+func TestTableMatchesViewDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(30, 60, rng)
+	h := spanner.LowStretch(g, 0.5).Graph()
+	for u := 0; u < g.N(); u++ {
+		tab := BuildTable(g, h, u)
+		want := spanner.ViewBFS(g, h, u)
+		for v := 0; v < g.N(); v++ {
+			if tab.Dist[v] != want[v] {
+				t.Fatalf("u=%d v=%d: table dist %d, view BFS %d", u, v, tab.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestTableNextHopsAreNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(25, 50, rng)
+	h := spanner.Exact(g).Graph()
+	for u := 0; u < g.N(); u++ {
+		tab := BuildTable(g, h, u)
+		for v := 0; v < g.N(); v++ {
+			nh := tab.Next[v]
+			if v == u {
+				if int(nh) != u {
+					t.Fatalf("self next hop %d", nh)
+				}
+				continue
+			}
+			if nh == -1 {
+				if tab.Dist[v] != graph.Unreached {
+					t.Fatalf("u=%d v=%d reachable but no next hop", u, v)
+				}
+				continue
+			}
+			if !g.HasEdge(u, int(nh)) {
+				t.Fatalf("u=%d v=%d: next hop %d is not a neighbor", u, v, nh)
+			}
+		}
+	}
+}
+
+func TestTableRouteExactSpannerIsShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(35, 70, rng)
+	h := spanner.Exact(g).Graph()
+	tables := BuildTables(g, h)
+	d := graph.AllPairsDistances(g)
+	for trial := 0; trial < 60; trial++ {
+		s, tt := rng.Intn(g.N()), rng.Intn(g.N())
+		r := TableRoute(tables, g, s, tt)
+		if !r.OK {
+			t.Fatalf("no table route %d→%d", s, tt)
+		}
+		if r.Hops != int(d[s][tt]) {
+			t.Fatalf("table route %d→%d: %d hops, shortest %d", s, tt, r.Hops, d[s][tt])
+		}
+	}
+}
+
+// Property: hop-by-hop table routing over any of our remote-spanner
+// families delivers within the construction's guarantee and never
+// loops.
+func TestQuickTableRouteWithinGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(15+rng.Intn(20), 45, rng)
+		res := spanner.LowStretch(g, 0.5)
+		h := res.Graph()
+		st := spanner.LowStretchOf(res.R)
+		tables := BuildTables(g, h)
+		d := graph.AllPairsDistances(g)
+		for trial := 0; trial < 15; trial++ {
+			s, tt := rng.Intn(g.N()), rng.Intn(g.N())
+			r := TableRoute(tables, g, s, tt)
+			if !r.OK {
+				return false
+			}
+			if s != tt && !st.Holds(int64(d[s][tt]), int64(r.Hops)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRouteAgreesWithGreedyOnGuarantee(t *testing.T) {
+	// Both data paths implement the §1 forwarding rule (move to a
+	// neighbor with believed distance d−1). Tie-breaking can diverge —
+	// the table follows its BFS tree, greedy the smallest-id argmin —
+	// and later hops are evaluated in different views, so hop counts
+	// need not be identical. What theory *does* promise for both:
+	// delivery, and length ≤ α·d_G + β.
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(30, 60, rng)
+	h := spanner.TwoConnecting(g).Graph()
+	st := spanner.NewStretch(2, -1)
+	tables := BuildTables(g, h)
+	d := graph.AllPairsDistances(g)
+	for trial := 0; trial < 40; trial++ {
+		s, tt := rng.Intn(g.N()), rng.Intn(g.N())
+		a := TableRoute(tables, g, s, tt)
+		b := GreedyRoute(g, h, s, tt)
+		if !a.OK || !b.OK {
+			t.Fatalf("delivery failed for %d→%d (table %v, greedy %v)", s, tt, a.OK, b.OK)
+		}
+		if s == tt || d[s][tt] < 2 {
+			continue
+		}
+		if !st.Holds(int64(d[s][tt]), int64(a.Hops)) {
+			t.Fatalf("table route %d→%d: %d hops vs d_G=%d breaks (2,−1)", s, tt, a.Hops, d[s][tt])
+		}
+		if !st.Holds(int64(d[s][tt]), int64(b.Hops)) {
+			t.Fatalf("greedy route %d→%d: %d hops vs d_G=%d breaks (2,−1)", s, tt, b.Hops, d[s][tt])
+		}
+	}
+}
+
+func TestTableRouteUnreachable(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	tables := BuildTables(g, g.Clone())
+	if r := TableRoute(tables, g, 0, 3); r.OK {
+		t.Fatal("routed across components")
+	}
+	if r := TableRoute(tables, g, 0, 0); !r.OK || r.Hops != 0 {
+		t.Fatal("self route")
+	}
+	_ = gen.Path // keep fixture import alive for readability
+}

@@ -1,0 +1,116 @@
+package spanner
+
+import (
+	"remspan/internal/graph"
+)
+
+// The necessity direction of the paper's characterizations: any
+// (1+ε, 1−2ε)-remote-spanner must *induce* (⌈1/ε⌉+1, 1)-dominating
+// trees (Prop. 1), and any k-connecting (1,0)-remote-spanner must
+// induce k-connecting (2,0)-dominating trees (Prop. 5). These
+// extractors build the induced tree from H or report that none exists —
+// so tests can verify the characterizations as true equivalences, not
+// just as soundness of our constructions.
+
+// InducedDominatingTree extracts from h an (r, 1)-dominating tree for u
+// whose edges all lie in h, or reports ok=false if h does not contain
+// one (then h cannot be a (1+ε', 1−2ε')-remote-spanner with
+// ε' = 1/(r−1), by Prop. 1).
+//
+// Construction: by the Prop. 1 argument, for every v with
+// 2 ≤ d_G(u,v) = r' ≤ r there must be x ∈ N_G(v) with d_h(u, x) ≤ r';
+// the union of h-BFS paths to those dominators is the tree.
+func InducedDominatingTree(g, h *graph.Graph, u, r int) (*graph.Tree, bool) {
+	parent, distH := graph.BFSTree(h, u)
+	distG := graph.BFS(g, u)
+	t := graph.NewTree(g.N(), u)
+	for v := 0; v < g.N(); v++ {
+		rp := int(distG[v])
+		if rp < 2 || rp > r {
+			continue
+		}
+		// Find the dominator of v: a G-neighbor within h-distance r'.
+		// (Smallest id for determinism.)
+		found := int32(-1)
+		for _, x := range g.Neighbors(v) {
+			if distH[x] != graph.Unreached && int(distH[x]) <= rp {
+				found = x
+				break
+			}
+		}
+		if found == -1 {
+			return nil, false
+		}
+		t.AddPath(parent, int(found))
+	}
+	return t, true
+}
+
+// InducedKConnTree extracts from h a k-connecting (2, 0)-dominating
+// tree for u (a star of h-edges at u), or ok=false if h lacks one —
+// then h is not a k-connecting (1,0)-remote-spanner (Prop. 5).
+func InducedKConnTree(g, h *graph.Graph, u, k int) (*graph.Tree, bool) {
+	t := graph.NewTree(g.N(), u)
+	inTree := func(w int32) bool { return t.Contains(int(w)) }
+	addRelay := func(w int32) {
+		if !inTree(w) {
+			t.Add(int(w), u)
+		}
+	}
+	// Distance-2 vertices of u in G.
+	seen := make(map[int32]bool)
+	for _, w := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(int(w)) {
+			if v == int32(u) || g.HasEdge(u, int(v)) || seen[v] {
+				continue
+			}
+			seen[v] = true
+			common := g.CommonNeighbors(u, int(v))
+			// Relays available in h.
+			var avail []int32
+			for _, x := range common {
+				if h.HasEdge(u, int(x)) {
+					avail = append(avail, x)
+				}
+			}
+			need := k
+			if len(common) < need {
+				need = len(common)
+			}
+			if len(avail) >= need {
+				for i := 0; i < need; i++ {
+					addRelay(avail[i])
+				}
+				continue
+			}
+			// Escape clause requires ALL common neighbors as h-edges —
+			// impossible here since avail ⊊ common.
+			return nil, false
+		}
+	}
+	return t, true
+}
+
+// CheckInduced verifies the necessity direction of Prop. 1 over all
+// roots: returns the first root for which h fails to induce an
+// (r, 1)-dominating tree, or -1.
+func CheckInduced(g, h *graph.Graph, r int) int {
+	for u := 0; u < g.N(); u++ {
+		if _, ok := InducedDominatingTree(g, h, u, r); !ok {
+			return u
+		}
+	}
+	return -1
+}
+
+// CheckInducedKConn verifies the necessity direction of Prop. 5 over
+// all roots: returns the first root for which h fails to induce a
+// k-connecting (2,0)-dominating tree, or -1.
+func CheckInducedKConn(g, h *graph.Graph, k int) int {
+	for u := 0; u < g.N(); u++ {
+		if _, ok := InducedKConnTree(g, h, u, k); !ok {
+			return u
+		}
+	}
+	return -1
+}

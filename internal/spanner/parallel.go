@@ -1,0 +1,53 @@
+package spanner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"remspan/internal/graph"
+)
+
+// buildParallel constructs one dominating tree per root using a worker
+// pool (roots are independent — the paper's algorithms need no
+// synchronization between node decisions) and merges the edges into a
+// single set. The merge order does not affect the result because the
+// union is a set; the output is identical to UnionSerial.
+func buildParallel(g *graph.Graph, builder func(u int, s *graph.BFSScratch) *graph.Tree) *Result {
+	n := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return UnionSerial(g, builder)
+	}
+
+	sizes := make([]int, n)
+	h := graph.NewEdgeSet(n)
+	var mu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			scratch := graph.NewBFSScratch(n)
+			local := graph.NewEdgeSet(n)
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					break
+				}
+				t := builder(u, scratch)
+				sizes[u] = t.EdgeCount()
+				local.AddTree(t)
+			}
+			mu.Lock()
+			h.Union(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return &Result{H: h, TreeEdges: sizes}
+}

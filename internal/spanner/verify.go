@@ -1,0 +1,207 @@
+package spanner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"remspan/internal/flow"
+	"remspan/internal/graph"
+)
+
+// Stretch is an exact rational stretch bound (αN/αD, βN/βD).
+type Stretch struct {
+	AlphaNum, AlphaDen int64
+	BetaNum, BetaDen   int64
+}
+
+// NewStretch returns the integer stretch (α, β).
+func NewStretch(alpha, beta int64) Stretch {
+	return Stretch{AlphaNum: alpha, AlphaDen: 1, BetaNum: beta, BetaDen: 1}
+}
+
+// LowStretchOf returns the exact stretch (1+ε', 1−2ε') with
+// ε' = 1/(r−1) guaranteed by (r, 1)-dominating trees (Prop. 1).
+func LowStretchOf(r int) Stretch {
+	d := int64(r - 1)
+	return Stretch{AlphaNum: d + 1, AlphaDen: d, BetaNum: d - 2, BetaDen: d}
+}
+
+// String renders the stretch, e.g. "(4/3, 1/3)".
+func (s Stretch) String() string {
+	frac := func(n, d int64) string {
+		if n == 0 {
+			return "0"
+		}
+		if d != 0 && n%d == 0 {
+			return fmt.Sprintf("%d", n/d)
+		}
+		return fmt.Sprintf("%d/%d", n, d)
+	}
+	return fmt.Sprintf("(%s, %s)", frac(s.AlphaNum, s.AlphaDen), frac(s.BetaNum, s.BetaDen))
+}
+
+// Holds reports whether dh <= α·dg + β using exact integer arithmetic.
+func (s Stretch) Holds(dg, dh int64) bool {
+	// dh ≤ (αN/αD)·dg + βN/βD  ⟺  dh·αD·βD ≤ αN·βD·dg + βN·αD.
+	return dh*s.AlphaDen*s.BetaDen <= s.AlphaNum*s.BetaDen*dg+s.BetaNum*s.AlphaDen
+}
+
+// Violation is a witness pair breaking a remote-spanner guarantee.
+type Violation struct {
+	U, V   int
+	DG, DH int
+	K      int // disjoint-path count for k-connecting checks (1 otherwise)
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("spanner: pair (%d,%d) k=%d: d_G=%d but d_{H_u}=%d", v.U, v.V, v.K, v.DG, v.DH)
+}
+
+// Check verifies the (α, β)-remote-spanner property of h against g for
+// every ordered pair (u, v): d_{H_u}(u, v) ≤ α·d_G(u, v) + β for
+// non-adjacent u, v (adjacent pairs hold trivially with distance 1).
+// Returns the first violation found, or nil. Runs one BFS pair per
+// vertex, parallelized across vertices.
+func Check(g, h *graph.Graph, st Stretch) *Violation {
+	n := g.N()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var worst *Violation
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			vs := NewViewScratch(n)
+			gs := graph.NewBFSScratch(n)
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				dg, _, reached := gs.Bounded(g, u, n)
+				dh := vs.BFS(g, h, u)
+				for _, v := range reached {
+					if dg[v] < 2 {
+						continue
+					}
+					if dh[v] == graph.Unreached || !st.Holds(int64(dg[v]), int64(dh[v])) {
+						mu.Lock()
+						if worst == nil {
+							dhv := int(dh[v])
+							worst = &Violation{U: u, V: int(v), DG: int(dg[v]), DH: dhv, K: 1}
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return worst
+}
+
+// Profile summarizes observed stretch over all pairs: the maximum of
+// d_{H_u}(u,v)/d_G(u,v) and the average, over non-adjacent connected
+// pairs.
+type Profile struct {
+	Pairs      int
+	MaxStretch float64
+	AvgStretch float64
+	MaxAdd     int // max additive excess d_H_u − d_G
+}
+
+// MeasureProfile computes the observed stretch profile of h over g.
+func MeasureProfile(g, h *graph.Graph) Profile {
+	n := g.N()
+	vs := NewViewScratch(n)
+	gs := graph.NewBFSScratch(n)
+	var p Profile
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		dg, _, reached := gs.Bounded(g, u, n)
+		dh := vs.BFS(g, h, u)
+		for _, v := range reached {
+			if dg[v] < 2 || dh[v] == graph.Unreached {
+				continue
+			}
+			s := float64(dh[v]) / float64(dg[v])
+			sum += s
+			p.Pairs++
+			if s > p.MaxStretch {
+				p.MaxStretch = s
+			}
+			if add := int(dh[v] - dg[v]); add > p.MaxAdd {
+				p.MaxAdd = add
+			}
+		}
+	}
+	if p.Pairs > 0 {
+		p.AvgStretch = sum / float64(p.Pairs)
+	}
+	return p
+}
+
+// CheckKConnecting verifies the k-connecting (α, β)-remote-spanner
+// property: for all non-adjacent pairs (s, t) and k' ≤ k with
+// d^{k'}_G(s,t) < ∞, d^{k'}_{H_s}(s,t) ≤ α·d^{k'}_G(s,t) + k'·β.
+// pairs limits the check to the given (s, t) pairs; nil means all
+// ordered pairs (quadratic × flow cost — small graphs only).
+func CheckKConnecting(g, h *graph.Graph, k int, st Stretch, pairs [][2]int) *Violation {
+	if pairs == nil {
+		for s := 0; s < g.N(); s++ {
+			for t := 0; t < g.N(); t++ {
+				if s == t || g.HasEdge(s, t) {
+					continue
+				}
+				if v := checkKPair(g, h, k, st, s, t); v != nil {
+					return v
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range pairs {
+		s, t := p[0], p[1]
+		if s == t || g.HasEdge(s, t) {
+			continue
+		}
+		if v := checkKPair(g, h, k, st, s, t); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func checkKPair(g, h *graph.Graph, k int, st Stretch, s, t int) *Violation {
+	dg := flow.KDistanceProfile(g, s, t, k)
+	hs := View(g, h, s)
+	dh := flow.KDistanceProfile(hs, s, t, k)
+	for kp := 1; kp <= k; kp++ {
+		if dg[kp-1] < 0 {
+			break
+		}
+		// d^{k'}_{H_s} ≤ α·d^{k'}_G + k'·β.
+		need := Stretch{
+			AlphaNum: st.AlphaNum, AlphaDen: st.AlphaDen,
+			BetaNum: st.BetaNum * int64(kp), BetaDen: st.BetaDen,
+		}
+		if dh[kp-1] < 0 || !need.Holds(int64(dg[kp-1]), int64(dh[kp-1])) {
+			return &Violation{U: s, V: t, DG: dg[kp-1], DH: dh[kp-1], K: kp}
+		}
+	}
+	return nil
+}
+
+// Subset verifies h ⊆ g (every spanner edge is a graph edge).
+func Subset(g *graph.Graph, h *graph.EdgeSet) bool { return h.SubsetOf(g) }

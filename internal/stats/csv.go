@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quoting cells that
+// contain commas or quotes) for downstream plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiChart renders (x, y) series as a log–log scatter chart in plain
+// text — enough to eyeball scaling exponents in a terminal. width and
+// height are the plot area in characters.
+func AsciiChart(title string, xs, ys []float64, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	var pts [][2]float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			pts = append(pts, [2]float64{math.Log10(xs[i]), math.Log10(ys[i])})
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (log–log)\n", title)
+	if len(pts) == 0 {
+		b.WriteString("(no positive data)\n")
+		return b.String()
+	}
+	minX, maxX := pts[0][0], pts[0][0]
+	minY, maxY := pts[0][1], pts[0][1]
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		c := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+		r := int((p[1] - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-r][c] = '*'
+	}
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.2g ", math.Pow(10, maxY))
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.2g ", math.Pow(10, minY))
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s%s\n", strings.Repeat(" ", 10),
+		fmt.Sprintf("%-*.3g%*.3g", width/2+1, math.Pow(10, minX), width/2, math.Pow(10, maxX)))
+	return b.String()
+}

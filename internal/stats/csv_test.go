@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x", 1)
+	tb.AddRow("contains,comma", `quote"d`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "x,1" {
+		t.Fatalf("row %q", lines[1])
+	}
+	if lines[2] != `"contains,comma","quote""d"` {
+		t.Fatalf("quoted row %q", lines[2])
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	xs := []float64{10, 100, 1000}
+	ys := []float64{20, 200, 2000}
+	out := AsciiChart("m vs n", xs, ys, 30, 8)
+	if !strings.Contains(out, "m vs n") {
+		t.Fatal("missing title")
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("missing points:\n%s", out)
+	}
+	// Degenerate inputs must not panic.
+	if out := AsciiChart("empty", nil, nil, 10, 5); !strings.Contains(out, "no positive data") {
+		t.Fatal("empty chart")
+	}
+	_ = AsciiChart("flat", []float64{5, 5}, []float64{1, 1}, 2, 2)
+	_ = AsciiChart("negatives", []float64{-1, 10}, []float64{3, -9}, 12, 4)
+}

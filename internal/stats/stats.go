@@ -1,0 +1,127 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: summary statistics, least-squares fits (notably
+// log–log slope fits for scaling-exponent estimation) and aligned
+// text-table rendering.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MinMax returns the extremes (0, 0 for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) with linear
+// interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with the
+// coefficient of determination R².
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LeastSquares fits a line to (xs, ys) (panics on length mismatch;
+// returns zero Fit for fewer than 2 points).
+func LeastSquares(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: length mismatch")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Fit{}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Intercept: my}
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	_ = n
+	return fit
+}
+
+// LogLogSlope fits log(y) against log(x), returning the scaling
+// exponent: y ≈ C·x^Slope. Non-positive points are skipped.
+func LogLogSlope(xs, ys []float64) Fit {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	return LeastSquares(lx, ly)
+}

@@ -1,0 +1,250 @@
+// Package remspan is a Go implementation of remote-spanners from
+// "Remote-Spanners: What to Know beyond Neighbors" (Jacquet & Viennot,
+// IPPS 2009).
+//
+// Given an unweighted graph G, a sub-graph H is an (α, β)-remote-spanner
+// when, for every node u, the graph H_u — H augmented with all edges
+// between u and its G-neighbors — approximates distances from u:
+// d_{H_u}(u, v) ≤ α·d_G(u, v) + β. Remote-spanners model the sub-graph a
+// link-state routing protocol (OSPF/OLSR) needs to flood network-wide
+// given that every router already knows its own neighbors, and they can
+// be far sparser than classical spanners: exact-distance
+// (1,0)-remote-spanners exist with o(m) edges.
+//
+// The package offers:
+//
+//   - constructions: Exact (1,0), KConnecting (k disjoint-path
+//     preserving), TwoConnecting ((2,−1) with 2 disjoint paths) and
+//     LowStretch ((1+ε, 1−2ε)) remote-spanners, all computable by
+//     constant-round distributed algorithms;
+//   - exact verification of every guarantee (integer arithmetic, flow
+//     based disjoint-path checks);
+//   - input generators (random unit-disk/unit-ball graphs, classic
+//     families);
+//   - a synchronous distributed simulation of the RemSpan protocol;
+//   - greedy link-state routing and multipoint-relay flooding built on
+//     the spanners.
+//
+// See DESIGN.md for the paper-to-code map and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package remspan
+
+import (
+	"fmt"
+
+	"remspan/internal/domtree"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return &Graph{g: graph.New(n)} }
+
+// FromEdges builds a graph on n vertices from an edge list; duplicates
+// and self loops are ignored.
+func FromEdges(n int, edges [][2]int) *Graph { return &Graph{g: graph.FromEdges(n, edges)} }
+
+// N returns the vertex count.
+func (G *Graph) N() int { return G.g.N() }
+
+// M returns the edge count.
+func (G *Graph) M() int { return G.g.M() }
+
+// AddEdge inserts the undirected edge {u, v}, reporting whether it was
+// new.
+func (G *Graph) AddEdge(u, v int) bool { return G.g.AddEdge(u, v) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (G *Graph) HasEdge(u, v int) bool { return G.g.HasEdge(u, v) }
+
+// Degree returns the degree of u.
+func (G *Graph) Degree(u int) int { return G.g.Degree(u) }
+
+// MaxDegree returns the maximum degree.
+func (G *Graph) MaxDegree() int { return G.g.MaxDegree() }
+
+// Neighbors returns the sorted neighbors of u.
+func (G *Graph) Neighbors(u int) []int {
+	nb := G.g.Neighbors(u)
+	out := make([]int, len(nb))
+	for i, v := range nb {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Edges returns all edges with u < v in lexicographic order.
+func (G *Graph) Edges() [][2]int {
+	es := G.g.Edges()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{int(e[0]), int(e[1])}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (G *Graph) Clone() *Graph { return &Graph{g: G.g.Clone()} }
+
+// Distance returns the hop distance between u and v (-1 when
+// disconnected).
+func (G *Graph) Distance(u, v int) int {
+	d := graph.BFS(G.g, u)[v]
+	return int(d)
+}
+
+// Connected reports whether the graph is connected.
+func (G *Graph) Connected() bool { return graph.IsConnected(G.g) }
+
+// internal accessor for sibling facade files.
+func (G *Graph) raw() *graph.Graph { return G.g }
+
+// wrap converts an internal graph.
+func wrap(g *graph.Graph) *Graph { return &Graph{g: g} }
+
+// Stretch is an exact rational stretch bound (α, β) = (AlphaNum/AlphaDen,
+// BetaNum/BetaDen).
+type Stretch struct {
+	AlphaNum, AlphaDen int64
+	BetaNum, BetaDen   int64
+}
+
+// IntStretch returns the integer stretch (α, β).
+func IntStretch(alpha, beta int64) Stretch {
+	return Stretch{AlphaNum: alpha, AlphaDen: 1, BetaNum: beta, BetaDen: 1}
+}
+
+// String renders the stretch, e.g. "(4/3, 1/3)".
+func (s Stretch) String() string { return s.internal().String() }
+
+func (s Stretch) internal() spanner.Stretch {
+	return spanner.Stretch{
+		AlphaNum: s.AlphaNum, AlphaDen: s.AlphaDen,
+		BetaNum: s.BetaNum, BetaDen: s.BetaDen,
+	}
+}
+
+func fromInternalStretch(s spanner.Stretch) Stretch {
+	return Stretch{
+		AlphaNum: s.AlphaNum, AlphaDen: s.AlphaDen,
+		BetaNum: s.BetaNum, BetaDen: s.BetaDen,
+	}
+}
+
+// Spanner is a constructed remote-spanner together with its guarantee.
+type Spanner struct {
+	// H is the spanner sub-graph (same vertex set as the input).
+	H *Graph
+	// Guarantee is the proven stretch of the construction.
+	Guarantee Stretch
+	// KConnecting is the largest k for which the k-connecting guarantee
+	// holds (1 for plain remote-spanners).
+	KConnecting int
+	// Kind names the construction.
+	Kind string
+	// TreeEdges is the per-root dominating-tree size (edges).
+	TreeEdges []int
+	// Radius is the dominating-tree radius r (flooding radius is
+	// r−1+β).
+	Radius int
+}
+
+// Edges returns the spanner's edge count.
+func (s *Spanner) Edges() int { return s.H.M() }
+
+// Exact returns a (1, 0)-remote-spanner of g: every augmented view H_u
+// preserves exact distances from u (Prop. 5, k = 1). The construction
+// is the union of greedy multipoint-relay selections and is within
+// 2(1+log Δ) of the optimal (1,0)-remote-spanner (Th. 2).
+func Exact(g *Graph) *Spanner {
+	res := spanner.Exact(g.raw())
+	return &Spanner{
+		H:           wrap(res.Graph()),
+		Guarantee:   IntStretch(1, 0),
+		KConnecting: 1,
+		Kind:        "exact",
+		TreeEdges:   res.TreeEdges,
+		Radius:      res.R,
+	}
+}
+
+// KConnecting returns a k-connecting (1, 0)-remote-spanner (Th. 2): for
+// every pair and every k' ≤ k, the minimum total length of k' disjoint
+// paths is preserved in the augmented views.
+func KConnecting(g *Graph, k int) *Spanner {
+	res := spanner.KConnecting(g.raw(), k)
+	return &Spanner{
+		H:           wrap(res.Graph()),
+		Guarantee:   IntStretch(1, 0),
+		KConnecting: k,
+		Kind:        fmt.Sprintf("%d-connecting", k),
+		TreeEdges:   res.TreeEdges,
+		Radius:      res.R,
+	}
+}
+
+// TwoConnecting returns a 2-connecting (2, −1)-remote-spanner (Th. 3)
+// with O(n) edges on unit-ball graphs of doubling metrics.
+func TwoConnecting(g *Graph) *Spanner {
+	res := spanner.TwoConnecting(g.raw())
+	return &Spanner{
+		H:           wrap(res.Graph()),
+		Guarantee:   IntStretch(2, -1),
+		KConnecting: 2,
+		Kind:        "2-connecting (2,-1)",
+		TreeEdges:   res.TreeEdges,
+		Radius:      res.R,
+	}
+}
+
+// LowStretch returns a (1+ε', 1−2ε')-remote-spanner with
+// ε' = 1/⌈1/ε⌉ ≤ ε (Th. 1), with O(ε^{−(p+1)}·n) edges on unit-ball
+// graphs of doubling dimension p. Requires 0 < eps ≤ 1.
+func LowStretch(g *Graph, eps float64) *Spanner {
+	res := spanner.LowStretch(g.raw(), eps)
+	return &Spanner{
+		H:           wrap(res.Graph()),
+		Guarantee:   fromInternalStretch(spanner.LowStretchOf(res.R)),
+		KConnecting: 1,
+		Kind:        fmt.Sprintf("low-stretch r=%d", res.R),
+		TreeEdges:   res.TreeEdges,
+		Radius:      res.R,
+	}
+}
+
+// radiusFor resolves ε to the dominating-tree radius r = ⌈1/ε⌉+1 and
+// the effective ε' = 1/(r−1).
+func radiusFor(eps float64) (int, float64) { return spanner.RadiusFor(eps) }
+
+// DominatingTree computes a single (r, β)-dominating tree for root u
+// (Algorithms 1–2; the building block of all constructions) and returns
+// its edges as (child, parent) pairs. greedy selects Algorithm 1
+// (greedy set cover, β ∈ {0, 1}) over Algorithm 2 (MIS, β = 1).
+func DominatingTree(g *Graph, u, r, beta int, greedy bool) ([][2]int, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("remspan: dominating tree radius must be >= 2")
+	}
+	var t *graph.Tree
+	if greedy {
+		if beta != 0 && beta != 1 {
+			return nil, fmt.Errorf("remspan: greedy dominating trees support beta in {0, 1}")
+		}
+		t = domtree.Greedy(g.raw(), nil, u, r, beta)
+	} else {
+		if beta != 1 {
+			return nil, fmt.Errorf("remspan: MIS dominating trees have beta = 1")
+		}
+		t = domtree.MIS(g.raw(), nil, u, r)
+	}
+	es := t.Edges()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{int(e[0]), int(e[1])}
+	}
+	return out, nil
+}

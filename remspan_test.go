@@ -1,0 +1,280 @@
+package remspan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphFacadeBasics(t *testing.T) {
+	g := NewGraph(4)
+	if !g.AddEdge(0, 1) || g.AddEdge(0, 1) {
+		t.Fatal("AddEdge semantics")
+	}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge")
+	}
+	if d := g.Distance(0, 3); d != 3 {
+		t.Fatalf("distance=%d", d)
+	}
+	if nb := g.Neighbors(1); len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("neighbors=%v", nb)
+	}
+	if es := g.Edges(); len(es) != 3 || es[0] != [2]int{0, 1} {
+		t.Fatalf("edges=%v", es)
+	}
+	if !g.Connected() {
+		t.Fatal("path should be connected")
+	}
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}, {1, 1}})
+	if g.M() != 2 {
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestExactSpannerFacade(t *testing.T) {
+	g := RandomConnected(40, 80, 1)
+	s := Exact(g)
+	if s.Kind != "exact" || s.KConnecting != 1 {
+		t.Fatalf("metadata: %+v", s.Kind)
+	}
+	if err := VerifySpanner(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TreeEdges) != g.N() {
+		t.Fatal("tree sizes missing")
+	}
+}
+
+func TestKConnectingFacade(t *testing.T) {
+	g := RandomConnected(18, 40, 2)
+	s := KConnecting(g, 2)
+	if err := VerifySpanner(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoConnectingFacade(t *testing.T) {
+	g := RandomConnected(16, 36, 3)
+	s := TwoConnecting(g)
+	if s.Guarantee.AlphaNum != 2 || s.Guarantee.BetaNum != -1 {
+		t.Fatalf("guarantee %v", s.Guarantee)
+	}
+	if err := VerifySpanner(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowStretchFacade(t *testing.T) {
+	g := RandomUDG(250, 4, 4)
+	s := LowStretch(g, 0.5)
+	if s.Radius != 3 {
+		t.Fatalf("radius=%d", s.Radius)
+	}
+	if got := s.Guarantee.String(); got != "(3/2, 0)" {
+		t.Fatalf("guarantee string %q", got)
+	}
+	if err := Verify(g, s.H, s.Guarantee); err != nil {
+		t.Fatal(err)
+	}
+	if s.Edges() >= g.M() {
+		t.Fatalf("no sparsification: %d of %d", s.Edges(), g.M())
+	}
+}
+
+func TestVerifyDetectsBadSpanner(t *testing.T) {
+	g := Ring(10)
+	empty := NewGraph(10)
+	err := Verify(g, empty, IntStretch(1, 0))
+	if err == nil {
+		t.Fatal("empty spanner accepted")
+	}
+	if !strings.Contains(err.Error(), "pair") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestMeasureStretchFullGraph(t *testing.T) {
+	g := Ring(12)
+	p := MeasureStretch(g, g.Clone())
+	if p.MaxStretch != 1 || p.MaxAdditive != 0 || p.Pairs == 0 {
+		t.Fatalf("profile %+v", p)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := RandomUDG(200, 4, 7); !g.Connected() || g.N() == 0 {
+		t.Fatal("UDG should be the connected component")
+	}
+	if g := RandomUBG(100, 2, 4, 7); g.N() != 100 {
+		t.Fatal("UBG node count")
+	}
+	if g := ErdosRenyi(50, 0.3, 7); g.M() == 0 {
+		t.Fatal("ER empty")
+	}
+	if g := Grid(3, 3); g.M() != 12 {
+		t.Fatalf("grid m=%d", g.M())
+	}
+	if g := Hypercube(3); g.M() != 12 {
+		t.Fatalf("hypercube m=%d", g.M())
+	}
+	a := RandomUDG(150, 4, 9)
+	b := RandomUDG(150, 4, 9)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("generators not deterministic in seed")
+	}
+}
+
+func TestDisjointPathDistance(t *testing.T) {
+	g := Ring(6)
+	if d := DisjointPathDistance(g, 0, 3, 2); d != 6 {
+		t.Fatalf("d2=%d, want 6", d)
+	}
+	if d := DisjointPathDistance(g, 0, 3, 3); d != -1 {
+		t.Fatalf("d3=%d, want -1", d)
+	}
+}
+
+func TestRouteFacade(t *testing.T) {
+	g := RandomUDG(200, 3, 11)
+	s := Exact(g)
+	path, ok := Route(g, s.H, 0, g.N()-1)
+	if !ok {
+		t.Fatal("no route")
+	}
+	if len(path)-1 != g.Distance(0, g.N()-1) {
+		t.Fatalf("route len %d, shortest %d", len(path)-1, g.Distance(0, g.N()-1))
+	}
+}
+
+func TestMultipathRoutesFacade(t *testing.T) {
+	g := Ring(8)
+	s := TwoConnecting(g)
+	paths, total, ok := MultipathRoutes(g, s.H, 0, 4, 2)
+	if !ok || len(paths) != 2 {
+		t.Fatal("expected 2 disjoint routes on a cycle")
+	}
+	if total < 8 {
+		t.Fatalf("total=%d below cycle length", total)
+	}
+}
+
+func TestRunDistributedMatchesCentralized(t *testing.T) {
+	g := RandomConnected(30, 60, 13)
+	res, err := RunDistributed(g, AlgoExact, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds=%d", res.Rounds)
+	}
+	want := Exact(g)
+	if res.H.M() != want.Edges() {
+		t.Fatalf("distributed %d vs centralized %d", res.H.M(), want.Edges())
+	}
+	lsMsgs, lsWords := FullLinkStateCost(g)
+	if lsMsgs <= 0 || lsWords <= res.Words {
+		t.Fatalf("link-state baseline words %d vs %d", lsWords, res.Words)
+	}
+}
+
+func TestRunDistributedLowStretch(t *testing.T) {
+	g := RandomConnected(25, 50, 14)
+	res, err := RunDistributed(g, AlgoLowStretch, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 7 { // r=3 → 2r+1
+		t.Fatalf("rounds=%d", res.Rounds)
+	}
+	if err := Verify(g, res.H, LowStretch(g, 0.5).Guarantee); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDistributedErrors(t *testing.T) {
+	g := Ring(5)
+	if _, err := RunDistributed(g, AlgoKConnecting, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := RunDistributed(g, AlgoLowStretch, 0, 2); err == nil {
+		t.Fatal("eps=2 accepted")
+	}
+	if _, err := RunDistributed(g, Algorithm(99), 0, 0); err == nil {
+		t.Fatal("bad algo accepted")
+	}
+}
+
+func TestFloodStatsFacade(t *testing.T) {
+	g := RandomUDG(250, 4, 15)
+	mpr, blind, covered := FloodStats(g, 1, 0)
+	if covered != g.N() {
+		t.Fatalf("covered %d of %d", covered, g.N())
+	}
+	if mpr > blind {
+		t.Fatalf("MPR %d > blind %d", mpr, blind)
+	}
+}
+
+func TestDominatingTreeFacade(t *testing.T) {
+	g := RandomConnected(30, 50, 16)
+	edges, err := DominatingTree(g, 0, 3, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) == 0 {
+		t.Fatal("empty tree on connected graph")
+	}
+	if _, err := DominatingTree(g, 0, 1, 0, true); err == nil {
+		t.Fatal("r=1 accepted")
+	}
+	if _, err := DominatingTree(g, 0, 3, 0, false); err == nil {
+		t.Fatal("MIS beta=0 accepted")
+	}
+	mis, err := DominatingTree(g, 0, 3, 1, false)
+	if err != nil || len(mis) == 0 {
+		t.Fatalf("MIS tree: %v", err)
+	}
+}
+
+func TestStretchString(t *testing.T) {
+	if s := IntStretch(2, -1).String(); s != "(2, -1)" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestDistanceOracleFacade(t *testing.T) {
+	g := RandomUDG(250, 4, 21)
+	s := Exact(g)
+	o := NewOracle(g, s)
+	for trial := 0; trial < 40; trial++ {
+		u, v := trial%g.N(), (trial*17+3)%g.N()
+		want := g.Distance(u, v)
+		if got := o.Query(u, v); got != want {
+			t.Fatalf("Query(%d,%d)=%d, want %d", u, v, got, want)
+		}
+	}
+	targets := []int{0, 1, 2, 3}
+	batch := o.QueryBatch(5, targets)
+	c := o.Clone()
+	for i, tgt := range targets {
+		if c.Query(5, tgt) != batch[i] {
+			t.Fatal("batch/clone mismatch")
+		}
+	}
+	if o.StorageWords() >= g.N()*g.N() {
+		t.Fatal("no storage savings")
+	}
+}

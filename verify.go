@@ -1,0 +1,102 @@
+package remspan
+
+import (
+	"fmt"
+
+	"remspan/internal/flow"
+	"remspan/internal/routing"
+	"remspan/internal/spanner"
+)
+
+// Verify checks the (α, β)-remote-spanner property of h against g over
+// all pairs exactly, returning a descriptive error for the first
+// violated pair (nil = the guarantee holds).
+func Verify(g *Graph, h *Graph, st Stretch) error {
+	if v := spanner.Check(g.raw(), h.raw(), st.internal()); v != nil {
+		return fmt.Errorf("remspan: %w", error(v))
+	}
+	return nil
+}
+
+// VerifySpanner checks a constructed spanner against its own declared
+// guarantee (including the k-connecting part, sampled over all pairs —
+// quadratic × flow cost, intended for small graphs).
+func VerifySpanner(g *Graph, s *Spanner) error {
+	if err := Verify(g, s.H, s.Guarantee); err != nil {
+		return err
+	}
+	if s.KConnecting > 1 {
+		if v := spanner.CheckKConnecting(g.raw(), s.H.raw(), s.KConnecting, s.Guarantee.internal(), nil); v != nil {
+			return fmt.Errorf("remspan: k-connecting: %w", error(v))
+		}
+	}
+	return nil
+}
+
+// VerifyKConnecting checks the k-connecting (α, β) property over the
+// given pairs (nil = all ordered pairs).
+func VerifyKConnecting(g, h *Graph, k int, st Stretch, pairs [][2]int) error {
+	if v := spanner.CheckKConnecting(g.raw(), h.raw(), k, st.internal(), pairs); v != nil {
+		return fmt.Errorf("remspan: %w", error(v))
+	}
+	return nil
+}
+
+// StretchProfile reports the observed stretch of h's augmented views
+// over g: the maximum and average of d_{H_u}(u,v)/d_G(u,v).
+type StretchProfile struct {
+	Pairs       int
+	MaxStretch  float64
+	AvgStretch  float64
+	MaxAdditive int
+}
+
+// MeasureStretch computes the observed stretch profile.
+func MeasureStretch(g, h *Graph) StretchProfile {
+	p := spanner.MeasureProfile(g.raw(), h.raw())
+	return StretchProfile{
+		Pairs:       p.Pairs,
+		MaxStretch:  p.MaxStretch,
+		AvgStretch:  p.AvgStretch,
+		MaxAdditive: p.MaxAdd,
+	}
+}
+
+// DisjointPathDistance returns the paper's k-connecting distance
+// d^k(s, t): the minimum total length of k internally vertex-disjoint
+// paths (-1 when fewer than k exist).
+func DisjointPathDistance(g *Graph, s, t, k int) int {
+	return flow.KDistance(g.raw(), s, t, k)
+}
+
+// Route simulates greedy link-state forwarding from s to t where every
+// node knows its own neighbors plus the advertised spanner h (§1). It
+// returns the hop-by-hop path taken.
+func Route(g, h *Graph, s, t int) (path []int, ok bool) {
+	r := routing.GreedyRoute(g.raw(), h.raw(), s, t)
+	if !r.OK {
+		return nil, false
+	}
+	out := make([]int, len(r.Path))
+	for i, v := range r.Path {
+		out[i] = int(v)
+	}
+	return out, true
+}
+
+// MultipathRoutes returns k minimum-total-length internally disjoint
+// s→t routes available in s's augmented view of h.
+func MultipathRoutes(g, h *Graph, s, t, k int) (paths [][]int, totalLen int, ok bool) {
+	res, ok := routing.DisjointRoutes(g.raw(), h.raw(), s, t, k)
+	if !ok {
+		return nil, 0, false
+	}
+	paths = make([][]int, len(res.Paths))
+	for i, p := range res.Paths {
+		paths[i] = make([]int, len(p))
+		for j, v := range p {
+			paths[i][j] = int(v)
+		}
+	}
+	return paths, res.Total, true
+}
