@@ -140,20 +140,47 @@ func BenchmarkDistributedProtocol(b *testing.B) {
 
 // --- ablations (DESIGN.md §5) ---
 
-// Parallel per-node tree construction vs the serial loop.
+// Parallel per-node tree construction vs the serial loop (both on the
+// CSR fast path, isolating the parallelism win).
 func BenchmarkAblationParallel(b *testing.B) {
 	gg := remspan.RandomUDG(500, 4, 1)
 	g := graph.FromEdges(gg.N(), gg.Edges())
 	b.Run("serial", func(b *testing.B) {
+		// Snapshot inside the loop to mirror spanner.Exact, which
+		// snapshots per construction — both arms then differ only in
+		// the worker pool.
 		for i := 0; i < b.N; i++ {
-			spanner.UnionSerial(g, func(u int, s *graph.BFSScratch) *graph.Tree {
-				return domtree.KGreedy(g, u, 1)
+			spanner.UnionSerialCSR(graph.NewCSR(g), func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+				return domtree.KGreedyCSR(c, s, u, 1)
 			})
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			spanner.Exact(g)
+		}
+	})
+}
+
+// The whole construction pipeline: retained map-based reference vs the
+// production CSR + scratch + lazy-heap path (this PR's tentpole).
+func BenchmarkAblationPipeline(b *testing.B) {
+	gg := remspan.RandomUDG(400, 4, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	b.Run("map-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spanner.UnionSerial(g, func(u int, s *graph.BFSScratch) *graph.Tree {
+				return domtree.KGreedy(g, u, 1)
+			})
+		}
+	})
+	b.Run("csr-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spanner.UnionSerialCSR(graph.NewCSR(g), func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+				return domtree.KGreedyCSR(c, s, u, 1)
+			})
 		}
 	})
 }
@@ -205,8 +232,8 @@ func BenchmarkAblationGreedyVsMIS(b *testing.B) {
 func BenchmarkAblationIncremental(b *testing.B) {
 	gg := remspan.RandomUDG(400, 4, 1)
 	g := graph.FromEdges(gg.N(), gg.Edges())
-	build := func(h *graph.Graph, _ *graph.BFSScratch, u int) *graph.Tree {
-		return domtree.KGreedy(h, u, 1)
+	build := func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, 1)
 	}
 	b.Run("incremental", func(b *testing.B) {
 		m := dynamic.New(g, 1, build)
@@ -227,7 +254,7 @@ func BenchmarkAblationIncremental(b *testing.B) {
 	b.Run("full-rebuild", func(b *testing.B) {
 		work := g.Clone()
 		rng := rand.New(rand.NewSource(2))
-		scratch := graph.NewBFSScratch(work.N())
+		scratch := domtree.NewScratch(work.N())
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			u, v := rng.Intn(work.N()), rng.Intn(work.N())
@@ -239,15 +266,17 @@ func BenchmarkAblationIncremental(b *testing.B) {
 			} else {
 				work.AddEdge(u, v)
 			}
+			c := graph.NewCSR(work)
 			es := graph.NewEdgeSet(work.N())
 			for w := 0; w < work.N(); w++ {
-				es.AddTree(build(work, scratch, w))
+				es.AddTree(build(c, scratch, w))
 			}
 		}
 	})
 }
 
-// Eager vs lazy (priority-queue) greedy k-cover selection.
+// Eager vs lazy (priority-queue) greedy k-cover selection, plus the
+// production CSR + scratch + lazy path the pipeline now runs on.
 func BenchmarkAblationLazyGreedy(b *testing.B) {
 	gg := remspan.RandomUDG(500, 4, 1)
 	g := graph.FromEdges(gg.N(), gg.Edges())
@@ -262,6 +291,16 @@ func BenchmarkAblationLazyGreedy(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for u := 0; u < g.N(); u += 7 {
 				domtree.KGreedyLazy(g, u, 2)
+			}
+		}
+	})
+	b.Run("lazy-csr-scratch", func(b *testing.B) {
+		c := graph.NewCSR(g)
+		s := domtree.NewScratch(g.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for u := 0; u < g.N(); u += 7 {
+				domtree.KGreedyCSR(c, s, u, 2)
 			}
 		}
 	})

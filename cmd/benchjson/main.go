@@ -1,0 +1,105 @@
+// Command benchjson runs the spanner-construction micro-benchmarks
+// (the same workloads as BenchmarkConstruct* in bench_test.go) and
+// emits a machine-readable JSON report, so the performance trajectory
+// of the construction pipeline is tracked across PRs:
+//
+//	go run ./cmd/benchjson -n 400 -out BENCH_construct.json
+//
+// Each record carries time/op, allocations/op, bytes/op and the
+// constructed edge count; "context" pins the workload parameters the
+// numbers were measured under.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"remspan"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Edges       int     `json:"edges"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Context struct {
+		N          int    `json:"n"`
+		Degree     int    `json:"target_degree"`
+		Seed       int64  `json:"seed"`
+		GraphEdges int    `json:"graph_edges"`
+		GoVersion  string `json:"go_version"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"context"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	n := flag.Int("n", 400, "graph size (vertices)")
+	deg := flag.Int("deg", 4, "target average degree of the random UDG")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "BENCH_construct.json", "output path (- for stdout)")
+	flag.Parse()
+
+	g := remspan.RandomUDG(*n, float64(*deg), *seed)
+
+	var rep report
+	rep.Context.N = g.N()
+	rep.Context.Degree = *deg
+	rep.Context.Seed = *seed
+	rep.Context.GraphEdges = g.M()
+	rep.Context.GoVersion = runtime.Version()
+	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	cases := []struct {
+		name string
+		run  func() int
+	}{
+		{"ConstructExact", func() int { return remspan.Exact(g).Edges() }},
+		{"ConstructKConnecting3", func() int { return remspan.KConnecting(g, 3).Edges() }},
+		{"ConstructTwoConnecting", func() int { return remspan.TwoConnecting(g).Edges() }},
+		{"ConstructLowStretch", func() int { return remspan.LowStretch(g, 0.5).Edges() }},
+	}
+	for _, c := range cases {
+		edges := 0
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				edges = c.run()
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, record{
+			Name:        c.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Edges:       edges,
+			Iterations:  res.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d allocs/op %6d edges\n",
+			c.name, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp(), edges)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module remspan
+
+go 1.21

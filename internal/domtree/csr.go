@@ -1,0 +1,416 @@
+package domtree
+
+import (
+	"fmt"
+	"slices"
+
+	"remspan/internal/graph"
+)
+
+// The *CSR builders are the production forms of the map-based reference
+// builders in kgreedy.go / greedy.go / mis.go / kmis.go: same
+// algorithms, same deterministic output edge-for-edge (asserted by the
+// equivalence tests and fuzz target), but running over an immutable
+// graph.CSR snapshot with epoch-stamped Scratch arrays instead of hash
+// maps, and — for the greedy set covers — lazy-heap selection instead of
+// a full candidate rescan per pick. An all-roots sweep with a shared
+// Scratch performs no per-root allocations.
+
+// KGreedyCSR computes Algorithm 4 DomTreeGdy(2, 0, k) for root u on the
+// CSR snapshot; see KGreedy for the algorithm and guarantees. Greedy
+// selection uses the lazy heap (candidate gains only decrease, so a
+// possibly-stale max-heap pops the true argmax after a few refreshes),
+// preserving the (gain desc, id asc) tie-break of the eager reference.
+func KGreedyCSR(c *graph.CSR, s *Scratch, u, k int) *graph.Tree {
+	if k < 1 {
+		panic("domtree: KGreedyCSR requires k >= 1")
+	}
+	s = ensure(s, c.N())
+	t := s.tree(u)
+	nu := c.Neighbors(u)
+
+	// Stamp N(u) ∪ {u} so the wedge scan below tests adjacency-to-root
+	// in O(1) instead of a binary search per wedge.
+	isNbr := s.stampA
+	eN := s.nextEpoch()
+	isNbr[u] = eN
+	for _, w := range nu {
+		isNbr[w] = eN
+	}
+
+	// S: vertices at distance exactly 2 from u. The wedge scan counts
+	// each common neighbor w of (u, v) exactly once, so cnt2 ends as
+	// commonLeft[v] = |N(u) ∩ N(v)| with no merge allocations.
+	inS := s.stampB
+	eS := s.nextEpoch()
+	remaining := 0
+	hits, commonLeft := s.cnt1, s.cnt2
+	for _, w := range nu {
+		for _, v := range c.Neighbors(int(w)) {
+			if isNbr[v] == eN {
+				continue
+			}
+			if inS[v] != eS {
+				inS[v] = eS
+				hits[v] = 0
+				commonLeft[v] = 0
+				remaining++
+			}
+			commonLeft[v]++
+		}
+	}
+	if remaining == 0 {
+		return t
+	}
+
+	// gain(x) = |N(x) ∩ S| over the still-uncovered S.
+	trueGain := func(x int32) int32 {
+		g := int32(0)
+		for _, v := range c.Neighbors(int(x)) {
+			if inS[v] == eS {
+				g++
+			}
+		}
+		return g
+	}
+
+	h := &s.heap
+	h.reset()
+	for _, x := range nu {
+		h.items = append(h.items, gainItem{id: x, gain: int(trueGain(x))})
+	}
+	h.initHeap()
+
+	for remaining > 0 {
+		if len(h.items) == 0 {
+			panic(fmt.Sprintf("domtree: k-cover stuck at root %d (|S|=%d)", u, remaining))
+		}
+		top := h.pop()
+		fresh := int(trueGain(top.id))
+		if fresh != top.gain {
+			if fresh > 0 {
+				h.push(gainItem{id: top.id, gain: fresh})
+			}
+			continue
+		}
+		if fresh == 0 {
+			continue
+		}
+		best := top.id
+		t.Add(int(best), u)
+		for _, v := range c.Neighbors(int(best)) {
+			if inS[v] != eS {
+				continue
+			}
+			hits[v]++
+			commonLeft[v]--
+			if hits[v] >= int32(k) || commonLeft[v] == 0 {
+				inS[v] = 0 // leaves S
+				remaining--
+			}
+		}
+	}
+	return t
+}
+
+// MISCSR computes Algorithm 2 DomTreeMIS(r, 1) for root u on the CSR
+// snapshot; see MIS for the algorithm and guarantees.
+func MISCSR(c *graph.CSR, s *Scratch, u, r int) *graph.Tree {
+	if r < 2 {
+		panic("domtree: MISCSR requires r >= 2")
+	}
+	s = ensure(s, c.N())
+	dist, parent, visited := s.bfs.BoundedCSR(c, u, r)
+	t := s.tree(u)
+
+	// B = vertices with 2 <= dist <= r, processed by (dist, id). Dense
+	// balls (the all-roots sweep on a connected graph) use a
+	// counting-bucket placement — count the ball per distance, then
+	// scan vertex ids in increasing order into the distance segments,
+	// O(n + |ball|) and comparison-free. Small balls instead sort each
+	// equal-distance run of the BFS order (already grouped by
+	// distance), keeping the per-root cost O(|ball| log |ball|)
+	// independent of n. Both produce the reference (dist, id) order.
+	var b []int32
+	if ballDense := 4*len(visited) >= c.N(); ballDense {
+		counts := s.buf2
+		if cap(counts) < r+1 {
+			counts = make([]int32, r+1)
+		} else {
+			counts = counts[:r+1]
+		}
+		s.buf2 = counts
+		for i := range counts {
+			counts[i] = 0
+		}
+		total := 0
+		for _, v := range visited {
+			if dist[v] >= 2 {
+				counts[dist[v]]++
+				total++
+			}
+		}
+		if cap(s.buf1) < total {
+			s.buf1 = make([]int32, total)
+		}
+		b = s.buf1[:total]
+		start := int32(0)
+		for d := 2; d <= r; d++ {
+			cd := counts[d]
+			counts[d] = start
+			start += cd
+		}
+		for v := 0; v < c.N(); v++ {
+			if d := dist[v]; d >= 2 {
+				b[counts[d]] = int32(v)
+				counts[d]++
+			}
+		}
+	} else {
+		b = s.buf1[:0]
+		for _, v := range visited {
+			if dist[v] >= 2 {
+				b = append(b, v)
+			}
+		}
+		s.buf1 = b
+		for i := 0; i < len(b); {
+			j := i + 1
+			for j < len(b) && dist[b[j]] == dist[b[i]] {
+				j++
+			}
+			slices.Sort(b[i:j])
+			i = j
+		}
+	}
+
+	removed := s.stampA
+	eR := s.nextEpoch()
+	for _, x := range b {
+		if removed[x] == eR {
+			continue
+		}
+		t.AddPath(parent, int(x))
+		removed[x] = eR
+		for _, w := range c.Neighbors(int(x)) {
+			removed[w] = eR
+		}
+	}
+	return t
+}
+
+// GreedyCSR computes Algorithm 1 DomTreeGdy(r, β) for root u on the CSR
+// snapshot; see Greedy for the algorithm and guarantees. Each ring's set
+// cover runs on the lazy heap, killing the O(|X|²) candidate rescan of
+// the reference while preserving its (gain desc, id asc) selection
+// order exactly (see the determinism contract in greedy.go).
+func GreedyCSR(c *graph.CSR, s *Scratch, u, r, beta int) *graph.Tree {
+	if r < 2 {
+		panic("domtree: GreedyCSR requires r >= 2")
+	}
+	if beta != 0 && beta != 1 {
+		panic("domtree: GreedyCSR requires beta in {0, 1}")
+	}
+	s = ensure(s, c.N())
+	radius := r - 1 + beta
+	if r > radius {
+		radius = r
+	}
+	dist, parent, visited := s.bfs.BoundedCSR(c, u, radius)
+	t := s.tree(u)
+
+	for rp := 2; rp <= r; rp++ {
+		// S: vertices at distance exactly rp (stamped; covering rewinds
+		// the stamp). X: candidates at distance in [rp-1, rp-1+beta].
+		lo, hi := int32(rp-1), int32(rp-1+beta)
+		inS := s.stampA
+		eS := s.nextEpoch()
+		remaining := 0
+		x := s.buf1[:0]
+		for _, v := range visited {
+			if dist[v] == int32(rp) {
+				inS[v] = eS
+				remaining++
+			}
+			if dist[v] >= lo && dist[v] <= hi {
+				x = append(x, v)
+			}
+		}
+		s.buf1 = x
+		if remaining == 0 {
+			continue
+		}
+		// gain(cand) = |B_G(cand, 1) ∩ S_uncovered|.
+		gain := func(cand int32) int {
+			g := 0
+			if inS[cand] == eS {
+				g++
+			}
+			for _, w := range c.Neighbors(int(cand)) {
+				if inS[w] == eS {
+					g++
+				}
+			}
+			return g
+		}
+		h := &s.heap
+		h.reset()
+		for _, cand := range x {
+			h.items = append(h.items, gainItem{id: cand, gain: gain(cand)})
+		}
+		h.initHeap()
+		for remaining > 0 {
+			if len(h.items) == 0 {
+				panic(fmt.Sprintf("domtree: greedy cover stuck at ring %d of root %d", rp, u))
+			}
+			top := h.pop()
+			fresh := gain(top.id)
+			if fresh != top.gain {
+				if fresh > 0 {
+					h.push(gainItem{id: top.id, gain: fresh})
+				}
+				continue
+			}
+			if fresh == 0 {
+				panic(fmt.Sprintf("domtree: greedy cover stuck at ring %d of root %d", rp, u))
+			}
+			best := top.id
+			t.AddPath(parent, int(best))
+			if inS[best] == eS {
+				inS[best] = 0
+				remaining--
+			}
+			for _, w := range c.Neighbors(int(best)) {
+				if inS[w] == eS {
+					inS[w] = 0
+					remaining--
+				}
+			}
+		}
+	}
+	return t
+}
+
+// KMISCSR computes Algorithm 5 DomTreeMIS(2, 1, k) for root u on the
+// CSR snapshot; see KMIS for the algorithm and guarantees.
+func KMISCSR(c *graph.CSR, s *Scratch, u, k int) *graph.Tree {
+	if k < 1 {
+		panic("domtree: KMISCSR requires k >= 1")
+	}
+	s = ensure(s, c.N())
+	t := s.tree(u)
+
+	isNbr := s.stampA
+	eN := s.nextEpoch()
+	isNbr[u] = eN
+	for _, w := range c.Neighbors(u) {
+		isNbr[w] = eN
+	}
+
+	// S: vertices at distance exactly 2 from u, with
+	// commonLeft[v] = |N(u) ∩ N(v)| counted by the wedge scan.
+	inS := s.stampB
+	eS := s.nextEpoch()
+	commonLeft := s.cnt2
+	nS := 0
+	sList := s.buf1[:0]
+	for _, w := range c.Neighbors(u) {
+		for _, v := range c.Neighbors(int(w)) {
+			if isNbr[v] == eN {
+				continue
+			}
+			if inS[v] != eS {
+				inS[v] = eS
+				commonLeft[v] = 0
+				nS++
+				sList = append(sList, v)
+			}
+			commonLeft[v]++
+		}
+	}
+	s.buf1 = sList
+
+	covered := func(v int32) bool {
+		return commonLeft[v] == 0 || s.disjointWitnesses(c, t, int(v), 2) >= k
+	}
+	noteTreeMember := func(y int32) {
+		for _, v := range c.Neighbors(int(y)) {
+			if inS[v] == eS {
+				commonLeft[v]--
+			}
+		}
+	}
+
+	for round := 0; round < k && nS > 0; round++ {
+		// X := S (snapshot), processed in increasing id.
+		order := s.buf2[:0]
+		for _, v := range sList {
+			if inS[v] == eS {
+				order = append(order, v)
+			}
+		}
+		s.buf2 = order
+		slices.Sort(order)
+		inX := s.stampC
+		eX := s.nextEpoch()
+		for _, v := range order {
+			inX[v] = eX
+		}
+
+		for nS > 0 {
+			// Pick the smallest-id x in S ∩ X.
+			x := int32(-1)
+			for _, v := range order {
+				if inX[v] == eX && inS[v] == eS {
+					x = v
+					break
+				}
+			}
+			if x == -1 {
+				break
+			}
+			// Fresh common neighbors of x and u, in increasing id (N(x)
+			// is sorted, matching g.CommonNeighbors order).
+			fresh := s.buf3[:0]
+			for _, y := range c.Neighbors(int(x)) {
+				if isNbr[y] == eN && !t.Contains(int(y)) {
+					fresh = append(fresh, y)
+				}
+			}
+			s.buf3 = fresh
+			cnt := k
+			if len(fresh) < cnt {
+				cnt = len(fresh)
+			}
+			// x ∈ S implies commonLeft[x] > 0, so cnt >= 1 (Prop. 7
+			// termination argument); attach u–y1–x then u–y2.. u–yc.
+			affected := s.buf4[:0]
+			y1 := fresh[0]
+			t.Add(int(y1), u)
+			noteTreeMember(y1)
+			t.Add(int(x), int(y1))
+			affected = append(affected, c.Neighbors(int(y1))...)
+			affected = append(affected, c.Neighbors(int(x))...)
+			for i := 1; i < cnt; i++ {
+				t.Add(int(fresh[i]), u)
+				noteTreeMember(fresh[i])
+				affected = append(affected, c.Neighbors(int(fresh[i]))...)
+			}
+			s.buf4 = affected
+			// Coverage can only have changed for S-vertices adjacent to
+			// a newly added tree node.
+			for _, v := range affected {
+				if inS[v] == eS && covered(v) {
+					inS[v] = 0
+					nS--
+				}
+			}
+			// X := X \ B_G(x, 1).
+			inX[x] = 0
+			for _, w := range c.Neighbors(int(x)) {
+				inX[w] = 0
+			}
+		}
+	}
+	return t
+}

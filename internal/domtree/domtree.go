@@ -12,8 +12,16 @@
 //     O(k²) edges in doubling unit-ball graphs (Prop. 7).
 //
 // All selections break ties by smallest vertex id, so constructions are
-// deterministic. Exact optimal (multi-)cover sizes for the
-// approximation-ratio experiments live in optimal.go.
+// deterministic (see the determinism contract in greedy.go). Exact
+// optimal (multi-)cover sizes for the approximation-ratio experiments
+// live in optimal.go.
+//
+// Each algorithm exists in two forms: a map-based reference
+// implementation (this file's siblings kgreedy.go, greedy.go, mis.go,
+// kmis.go) kept for clarity and as the oracle of the equivalence tests,
+// and a production form in csr.go running over an immutable graph.CSR
+// snapshot with reusable Scratch state — bit-identical output, no
+// per-root allocations.
 package domtree
 
 import (

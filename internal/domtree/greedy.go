@@ -12,8 +12,21 @@ import (
 // balls of candidates in distance range [r'−1, r'−1+β]. Paths are
 // attached along a shared BFS tree, keeping d_T(u, x) = d_G(u, x).
 //
+// Determinism contract: every greedy selection in this package picks
+// the candidate maximizing the current gain, breaking ties by smallest
+// vertex id — i.e. selection order is (gain desc, id asc). The
+// lazy-heap production builders (GreedyCSR, KGreedyCSR) must preserve
+// this order bit-for-bit; they do, because gains only decrease, so when
+// a popped heap entry's recomputed gain equals its key, every other
+// candidate's true gain is bounded by its own key ≤ that key, and equal
+// keys pop in id order. Any change to this tie-break is a breaking
+// change to the constructed edge sets and must update the reference
+// builders, the CSR builders and the equivalence tests together.
+//
 // β must be 0 or 1 (the only values the paper uses); r ≥ 2.
 // scratch may be nil; pass one to amortize allocations across roots.
+// This is the map-based reference implementation; production sweeps use
+// GreedyCSR.
 func Greedy(g *graph.Graph, scratch *graph.BFSScratch, u, r, beta int) *graph.Tree {
 	if r < 2 {
 		panic("domtree: Greedy requires r >= 2")
@@ -40,8 +53,7 @@ func Greedy(g *graph.Graph, scratch *graph.BFSScratch, u, r, beta int) *graph.Tr
 		var x []int32
 		lo, hi := int32(rp-1), int32(rp-1+beta)
 		for _, v := range visited {
-			switch {
-			case dist[v] == int32(rp):
+			if dist[v] == int32(rp) {
 				s = append(s, v)
 			}
 			if dist[v] >= lo && dist[v] <= hi {

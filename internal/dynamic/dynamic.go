@@ -6,24 +6,39 @@
 // exactly the spanner a full recomputation would produce, at a fraction
 // of the work (the incremental-vs-full ablation is benchmarked in
 // bench_test.go).
+//
+// Tree rebuilds run on the same CSR + scratch fast path as the batch
+// constructions: the maintainer keeps an immutable CSR snapshot of the
+// current graph (refreshed once per applied change) and stores each
+// root's tree as a compact (child, parent) edge list. The refresh puts
+// an O(n+m) floor under each applied change — a deliberate trade: it
+// keeps one builder code path, and rebuild work (|dirty| bounded
+// traversals) dominates the snapshot copy on the churn workloads
+// benchmarked; an incremental CSR patch could remove the floor if
+// localized churn on huge graphs ever becomes the bottleneck.
 package dynamic
 
 import (
+	"remspan/internal/domtree"
 	"remspan/internal/graph"
 )
 
-// TreeBuilder builds the dominating tree for a root (e.g. a
-// domtree.KGreedy or domtree.MIS closure).
-type TreeBuilder func(g *graph.Graph, scratch *graph.BFSScratch, u int) *graph.Tree
+// TreeBuilder builds the dominating tree for a root on a CSR snapshot
+// (e.g. a domtree.KGreedyCSR or domtree.MISCSR closure). The returned
+// tree may be owned by the scratch; the maintainer copies the edges out
+// before the next call.
+type TreeBuilder func(c *graph.CSR, scratch *domtree.Scratch, u int) *graph.Tree
 
 // Maintainer keeps the union-of-trees spanner of a mutable graph.
 type Maintainer struct {
 	g       *graph.Graph
+	csr     *graph.CSR // snapshot of g after the last applied change
 	build   TreeBuilder
-	radius  int // locality radius R of the tree construction
-	trees   []*graph.Tree
-	scratch *graph.BFSScratch
-	rebuilt int64 // cumulative trees rebuilt (for the ablation metric)
+	radius  int          // locality radius R of the tree construction
+	trees   [][][2]int32 // per-root tree edges as (child, parent) pairs
+	scratch *domtree.Scratch
+	dirty   *graph.BFSScratch // bounded sweeps for dirty-set computation
+	rebuilt int64             // cumulative trees rebuilt (for the ablation metric)
 }
 
 // New computes the initial spanner over a clone of g. radius is the
@@ -37,14 +52,23 @@ func New(g *graph.Graph, radius int, build TreeBuilder) *Maintainer {
 		g:       g.Clone(),
 		build:   build,
 		radius:  radius,
-		trees:   make([]*graph.Tree, g.N()),
-		scratch: graph.NewBFSScratch(g.N()),
+		trees:   make([][][2]int32, g.N()),
+		scratch: domtree.NewScratch(g.N()),
+		dirty:   graph.NewBFSScratch(g.N()),
 	}
+	m.csr = graph.NewCSR(m.g)
 	for u := 0; u < g.N(); u++ {
-		m.trees[u] = build(m.g, m.scratch, u)
-		m.rebuilt++
+		m.rebuildTree(u)
 	}
 	return m
+}
+
+// rebuildTree reconstructs root u's tree on the current snapshot and
+// stores a compact copy of its edges.
+func (m *Maintainer) rebuildTree(u int) {
+	t := m.build(m.csr, m.scratch, u)
+	m.trees[u] = t.Edges()
+	m.rebuilt++
 }
 
 // Graph returns the maintained graph (do not mutate directly — use
@@ -54,8 +78,10 @@ func (m *Maintainer) Graph() *graph.Graph { return m.g }
 // Spanner returns the current union-of-trees spanner.
 func (m *Maintainer) Spanner() *graph.EdgeSet {
 	es := graph.NewEdgeSet(m.g.N())
-	for _, t := range m.trees {
-		es.AddTree(t)
+	for _, edges := range m.trees {
+		for _, e := range edges {
+			es.Add(int(e[0]), int(e[1]))
+		}
 	}
 	return es
 }
@@ -72,7 +98,10 @@ func (m *Maintainer) AddEdge(u, v int) bool {
 	if !m.g.AddEdge(u, v) {
 		return false
 	}
-	m.rebuildAround(u, v)
+	m.csr = graph.NewCSR(m.g)
+	for _, root := range m.dirtySet(u, v) {
+		m.rebuildTree(int(root))
+	}
 	return true
 }
 
@@ -85,18 +114,11 @@ func (m *Maintainer) RemoveEdge(u, v int) bool {
 	if !m.g.RemoveEdge(u, v) {
 		return false
 	}
+	m.csr = graph.NewCSR(m.g)
 	for _, root := range dirty {
-		m.trees[root] = m.build(m.g, m.scratch, int(root))
-		m.rebuilt++
+		m.rebuildTree(int(root))
 	}
 	return true
-}
-
-func (m *Maintainer) rebuildAround(u, v int) {
-	for _, root := range m.dirtySet(u, v) {
-		m.trees[root] = m.build(m.g, m.scratch, int(root))
-		m.rebuilt++
-	}
 }
 
 // FailVertex removes every edge incident to x (a node crash) and
@@ -116,9 +138,11 @@ func (m *Maintainer) FailVertex(x int) int {
 	for _, v := range nbrs {
 		m.g.RemoveEdge(x, int(v))
 	}
+	if len(nbrs) > 0 {
+		m.csr = graph.NewCSR(m.g)
+	}
 	for w := range dirtyAll {
-		m.trees[w] = m.build(m.g, m.scratch, int(w))
-		m.rebuilt++
+		m.rebuildTree(int(w))
 	}
 	return len(nbrs)
 }
@@ -129,14 +153,12 @@ func (m *Maintainer) FailVertex(x int) int {
 // vertices in B(w, R). Edge {u,v} appears in those inputs iff
 // d(w, u) ≤ R or d(w, v) ≤ R.
 func (m *Maintainer) dirtySet(u, v int) []int32 {
-	distU, _, reachedU := m.scratch.Bounded(m.g, u, m.radius)
+	_, _, reachedU := m.dirty.Bounded(m.g, u, m.radius)
 	set := make(map[int32]struct{}, len(reachedU))
 	for _, w := range reachedU {
 		set[w] = struct{}{}
 	}
-	_ = distU
-	distV, _, reachedV := m.scratch.Bounded(m.g, v, m.radius)
-	_ = distV
+	_, _, reachedV := m.dirty.Bounded(m.g, v, m.radius)
 	for _, w := range reachedV {
 		set[w] = struct{}{}
 	}

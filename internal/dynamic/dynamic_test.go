@@ -11,23 +11,24 @@ import (
 )
 
 func kgreedyBuilder(k int) TreeBuilder {
-	return func(g *graph.Graph, _ *graph.BFSScratch, u int) *graph.Tree {
-		return domtree.KGreedy(g, u, k)
+	return func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, k)
 	}
 }
 
 func misBuilder(r int) TreeBuilder {
-	return func(g *graph.Graph, s *graph.BFSScratch, u int) *graph.Tree {
-		return domtree.MIS(g, s, u, r)
+	return func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.MISCSR(c, s, u, r)
 	}
 }
 
 // fullSpanner recomputes the union-of-trees spanner from scratch.
 func fullSpanner(g *graph.Graph, build TreeBuilder) *graph.EdgeSet {
 	es := graph.NewEdgeSet(g.N())
-	s := graph.NewBFSScratch(g.N())
+	c := graph.NewCSR(g)
+	s := domtree.NewScratch(g.N())
 	for u := 0; u < g.N(); u++ {
-		es.AddTree(build(g, s, u))
+		es.AddTree(build(c, s, u))
 	}
 	return es
 }

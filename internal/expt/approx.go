@@ -5,6 +5,7 @@ import (
 
 	"remspan/internal/domtree"
 	"remspan/internal/gen"
+	"remspan/internal/graph"
 	"remspan/internal/spanner"
 	"remspan/internal/stats"
 )
@@ -28,12 +29,14 @@ func ApproxRatio(cfg Config) (*stats.Table, error) {
 	for trial := 0; trial < trials; trial++ {
 		rng := cfg.rng(int64(600 + trial))
 		g := gen.ErdosRenyi(n, 2.5*math.Log(float64(n))/float64(n), rng)
+		c := graph.NewCSR(g)
+		scratch := domtree.NewScratch(g.N())
 		for _, k := range []int{1, 2} {
 			sumG, sumO := 0, 0
 			worst := 1.0
 			allExact := true
 			for u := 0; u < g.N(); u++ {
-				greedy := domtree.KGreedy(g, u, k).EdgeCount()
+				greedy := domtree.KGreedyCSR(c, scratch, u, k).EdgeCount()
 				opt, ok := domtree.OptimalKCoverSize(g, u, k, budget)
 				if !ok {
 					allExact = false
@@ -66,10 +69,12 @@ func ApproxRatio(cfg Config) (*stats.Table, error) {
 	// exact per-ring cover lower bound.
 	rng := cfg.rng(699)
 	g := gen.ErdosRenyi(n, 3*math.Log(float64(n))/float64(n), rng)
+	c := graph.NewCSR(g)
+	scratch := domtree.NewScratch(g.N())
 	okP2 := true
 	for u := 0; u < g.N(); u += 4 {
 		for _, beta := range []int{0, 1} {
-			tr := domtree.Greedy(g, nil, u, 3, beta)
+			tr := domtree.GreedyCSR(c, scratch, u, 3, beta)
 			lb, exact := domtree.OptimalDomTreeLowerBound(g, u, 3, beta, budget)
 			if !exact {
 				continue

@@ -20,8 +20,8 @@ func Churn(cfg Config) (*stats.Table, error) {
 		n, changes = 200, 25
 	}
 	g := udgWithN(n, 4, cfg.rng(1500))
-	build := func(gg *graph.Graph, _ *graph.BFSScratch, u int) *graph.Tree {
-		return domtree.KGreedy(gg, u, 1)
+	build := func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, 1)
 	}
 	m := dynamic.New(g, 1, build)
 	initial := m.TreesRebuilt()
@@ -45,9 +45,10 @@ func Churn(cfg Config) (*stats.Table, error) {
 
 	// Equivalence with full recomputation on the final graph.
 	full := graph.NewEdgeSet(m.Graph().N())
-	scratch := graph.NewBFSScratch(m.Graph().N())
+	csr := graph.NewCSR(m.Graph())
+	scratch := domtree.NewScratch(m.Graph().N())
 	for u := 0; u < m.Graph().N(); u++ {
-		full.AddTree(build(m.Graph(), scratch, u))
+		full.AddTree(build(csr, scratch, u))
 	}
 	same := m.Spanner().Len() == full.Len()
 	if same {

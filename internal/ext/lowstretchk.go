@@ -15,7 +15,7 @@ import (
 func LowStretchKConnecting(g *graph.Graph, eps float64, k int) *spanner.Result {
 	low := spanner.LowStretch(g, eps)
 	kc := spanner.KMIS(g, k)
-	low.H.Union(kc.H)
+	low.Union(kc)
 	return low
 }
 

@@ -110,6 +110,37 @@ func (s *BFSScratch) Bounded(g *Graph, src, maxDist int) (dist, parent, visited 
 	return s.dist, s.parent, s.queue
 }
 
+// BoundedCSR is Bounded over an immutable CSR snapshot instead of the
+// mutable adjacency-list graph — the traversal the production spanner
+// pipeline runs once per root.
+func (s *BFSScratch) BoundedCSR(c *CSR, src, maxDist int) (dist, parent, visited []int32) {
+	for _, v := range s.touched {
+		s.dist[v] = Unreached
+		s.parent[v] = -1
+	}
+	s.touched = s.touched[:0]
+	s.queue = s.queue[:0]
+
+	s.dist[src] = 0
+	s.touched = append(s.touched, int32(src))
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		if int(s.dist[u]) >= maxDist {
+			continue
+		}
+		for _, v := range c.Neighbors(int(u)) {
+			if s.dist[v] == Unreached {
+				s.dist[v] = s.dist[u] + 1
+				s.parent[v] = u
+				s.touched = append(s.touched, v)
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return s.dist, s.parent, s.queue
+}
+
 // Eccentricity returns the maximum finite distance from src, or -1 if
 // src has no reachable vertices besides itself and n > 1... it is 0 for
 // a singleton component.

@@ -1,0 +1,125 @@
+package graph
+
+import "slices"
+
+// EdgeMarks accumulates a subset of a CSR snapshot's edges as one flag
+// per canonical (u < v) adjacency slot. It is the allocation-free union
+// accumulator of the spanner construction pipeline: dominating-tree
+// edges are always edges of the snapshot, so marking a bit replaces a
+// hash-map insert, worker merges are flag-wise ORs, and the final graph
+// materializes with exactly-sized, already-sorted adjacency lists.
+type EdgeMarks struct {
+	c     *CSR
+	mark  []bool // indexed by position in c's target array; u < v slots only
+	count int
+}
+
+// NewEdgeMarks returns an empty accumulator over the snapshot c.
+func NewEdgeMarks(c *CSR) *EdgeMarks {
+	return &EdgeMarks{c: c, mark: make([]bool, len(c.targets))}
+}
+
+// Add marks edge {u, v}, which must be an edge of the snapshot.
+func (m *EdgeMarks) Add(u, v int) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	lo, hi := m.c.offsets[u], m.c.offsets[u+1]
+	for lo < hi {
+		mid := lo + (hi-lo)/2 // overflow-safe: lo+hi can exceed int32 on huge snapshots
+		if m.c.targets[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= m.c.offsets[u+1] || m.c.targets[lo] != int32(v) {
+		panic("graph: EdgeMarks.Add of an edge absent from the snapshot")
+	}
+	if !m.mark[lo] {
+		m.mark[lo] = true
+		m.count++
+	}
+}
+
+// AddTree marks every edge of t.
+func (m *EdgeMarks) AddTree(t *Tree) {
+	for _, v := range t.Nodes() {
+		if p := t.Parent(int(v)); p >= 0 {
+			m.Add(int(v), p)
+		}
+	}
+}
+
+// Compatible reports whether o indexes the same snapshot layout as m,
+// so their flags can be ORed slot-for-slot. Accumulators over distinct
+// CSR instances are compatible when the snapshots are bytewise equal
+// (e.g. two snapshots of the same unmutated graph).
+func (m *EdgeMarks) Compatible(o *EdgeMarks) bool {
+	if m.c == o.c {
+		return true
+	}
+	return slices.Equal(m.c.offsets, o.c.offsets) && slices.Equal(m.c.targets, o.c.targets)
+}
+
+// Union ORs o (an accumulator over the same snapshot) into m.
+func (m *EdgeMarks) Union(o *EdgeMarks) {
+	for i, b := range o.mark {
+		if b && !m.mark[i] {
+			m.mark[i] = true
+			m.count++
+		}
+	}
+}
+
+// Len returns the number of marked edges.
+func (m *EdgeMarks) Len() int { return m.count }
+
+// each visits the marked edges as (u, v) pairs with u < v, in
+// lexicographic order.
+func (m *EdgeMarks) each(f func(u, v int32)) {
+	for u := 0; u < m.c.N(); u++ {
+		for i := m.c.offsets[u]; i < m.c.offsets[u+1]; i++ {
+			if m.mark[i] && int32(u) < m.c.targets[i] {
+				f(int32(u), m.c.targets[i])
+			}
+		}
+	}
+}
+
+// EdgeSet converts the marks to an EdgeSet presized to the exact edge
+// count.
+func (m *EdgeMarks) EdgeSet() *EdgeSet {
+	s := &EdgeSet{n: m.c.N(), set: make(map[uint64]struct{}, m.count)}
+	m.each(func(u, v int32) {
+		s.set[s.key(int(u), int(v))] = struct{}{}
+	})
+	return s
+}
+
+// Graph materializes the marked subset. Degrees are counted up front,
+// adjacency lists are carved from one flat backing array, and CSR slot
+// order keeps every list sorted — no per-insert allocation or shifting.
+func (m *EdgeMarks) Graph() *Graph {
+	n := m.c.N()
+	deg := make([]int32, n)
+	m.each(func(u, v int32) {
+		deg[u]++
+		deg[v]++
+	})
+	flat := make([]int32, 0, 2*m.count)
+	adj := make([][]int32, n)
+	off := 0
+	for u := 0; u < n; u++ {
+		adj[u] = flat[off:off : off+int(deg[u])]
+		off += int(deg[u])
+	}
+	m.each(func(u, v int32) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	})
+	return &Graph{adj: adj, m: m.count}
+}

@@ -66,10 +66,14 @@ func (s *EdgeSet) AddGraph(g *Graph) {
 	g.EachEdge(func(u, v int) { s.Add(u, v) })
 }
 
-// AddTree inserts every edge of t.
+// AddTree inserts every edge of t. It walks the member list directly so
+// the per-root merge in construction sweeps does not materialize an
+// intermediate edge slice.
 func (s *EdgeSet) AddTree(t *Tree) {
-	for _, e := range t.Edges() {
-		s.Add(int(e[0]), int(e[1]))
+	for _, v := range t.Nodes() {
+		if p := t.Parent(int(v)); p >= 0 {
+			s.Add(int(v), p)
+		}
 	}
 }
 

@@ -6,11 +6,12 @@ import "fmt"
 // host graph. It is the representation of the paper's dominating trees:
 // a root plus parent pointers, with depths maintained incrementally.
 type Tree struct {
-	root   int32
-	parent []int32 // parent[v] = parent of v, -1 for root, NotInTree for non-members
-	depth  []int32 // depth[v], -1 for non-members
-	nodes  []int32 // members in insertion order (root first)
-	edges  int
+	root    int32
+	parent  []int32 // parent[v] = parent of v, -1 for root, NotInTree for non-members
+	depth   []int32 // depth[v], -1 for non-members
+	nodes   []int32 // members in insertion order (root first)
+	edges   int
+	pathBuf []int32 // reusable AddPath walk stack
 }
 
 // NotInTree marks vertices that are not part of a Tree.
@@ -35,6 +36,26 @@ func NewTree(n, root int) *Tree {
 	t.depth[root] = 0
 	t.nodes = append(t.nodes, int32(root))
 	return t
+}
+
+// Reset re-initializes t to contain only root, clearing the previous
+// membership in O(previous tree size) instead of the O(n) a fresh
+// NewTree pays. It is the key to allocation-free all-roots construction
+// sweeps: one pooled tree per worker, reset per root.
+func (t *Tree) Reset(root int) {
+	if root < 0 || root >= len(t.parent) {
+		panic("graph: tree root out of range")
+	}
+	for _, v := range t.nodes {
+		t.parent[v] = NotInTree
+		t.depth[v] = -1
+	}
+	t.nodes = t.nodes[:0]
+	t.edges = 0
+	t.root = int32(root)
+	t.parent[root] = -1
+	t.depth[root] = 0
+	t.nodes = append(t.nodes, int32(root))
 }
 
 // Root returns the root vertex.
@@ -87,7 +108,7 @@ func (t *Tree) AddPath(parents []int32, x int) {
 	if t.Contains(x) {
 		return
 	}
-	var stack []int32
+	stack := t.pathBuf[:0]
 	v := int32(x)
 	for !t.Contains(int(v)) {
 		stack = append(stack, v)
@@ -96,6 +117,7 @@ func (t *Tree) AddPath(parents []int32, x int) {
 			panic("graph: AddPath walked past the root without joining the tree")
 		}
 	}
+	t.pathBuf = stack
 	for i := len(stack) - 1; i >= 0; i-- {
 		t.Add(int(stack[i]), int(v))
 		v = stack[i]

@@ -13,6 +13,11 @@
 //     ε' = 1/(r−1) ≤ ε (Prop. 1, Th. 1).
 //   - LowStretchGreedy: same stretch via Algorithm 1 greedy trees
 //     (Prop. 2 approximation guarantee per tree).
+//
+// All constructions run on one immutable graph.CSR snapshot taken up
+// front, with one reusable domtree.Scratch per worker, so the per-root
+// hot loops are allocation-free (DESIGN.md §3). UnionSerial retains the
+// map-based reference path the equivalence tests compare against.
 package spanner
 
 import (
@@ -25,17 +30,41 @@ import (
 // Result is a constructed remote-spanner together with per-root tree
 // sizes (in edges) for size accounting.
 type Result struct {
-	H         *graph.EdgeSet // the spanner edge set
-	TreeEdges []int          // edges of the dominating tree per root
-	R         int            // tree radius used (2 for the k-connecting families)
-	EpsEff    float64        // effective ε' for the low-stretch families (0 otherwise)
+	H         *graph.EdgeSet   // the spanner edge set
+	TreeEdges []int            // edges of the dominating tree per root
+	R         int              // tree radius used (2 for the k-connecting families)
+	EpsEff    float64          // effective ε' for the low-stretch families (0 otherwise)
+	marks     *graph.EdgeMarks // CSR-slot accumulator (production pipeline only)
 }
 
 // Edges returns the spanner's edge count.
 func (r *Result) Edges() int { return r.H.Len() }
 
-// Graph materializes the spanner as a Graph.
-func (r *Result) Graph() *graph.Graph { return r.H.Graph() }
+// Graph materializes the spanner as a Graph — directly from the CSR
+// edge marks when the production pipeline built it (exactly-sized
+// sorted adjacency, no per-insert work), via the edge set otherwise.
+// The marks are used only while they agree with H in size, so code
+// that mutates the exported H directly (instead of Result.Union)
+// still materializes correctly through the edge-set fallback.
+func (r *Result) Graph() *graph.Graph {
+	if r.marks != nil && r.marks.Len() == r.H.Len() {
+		return r.marks.Graph()
+	}
+	return r.H.Graph()
+}
+
+// Union merges o's edges into r, keeping the edge set and the CSR-mark
+// fast path coherent (the marks survive only when both results were
+// built over the same snapshot layout; otherwise Graph() falls back to
+// the edge set).
+func (r *Result) Union(o *Result) {
+	r.H.Union(o.H)
+	if r.marks != nil && o.marks != nil && r.marks.Compatible(o.marks) {
+		r.marks.Union(o.marks)
+	} else {
+		r.marks = nil
+	}
+}
 
 // RadiusFor returns the dominating-tree radius r = ⌈1/ε⌉ + 1 used by
 // the low-stretch constructions, and the effective stretch parameter
@@ -56,8 +85,8 @@ func Exact(g *graph.Graph) *Result { return KConnecting(g, 1) }
 // KConnecting returns a k-connecting (1, 0)-remote-spanner as the union
 // of Algorithm 4 greedy k-cover trees over all roots (Th. 2).
 func KConnecting(g *graph.Graph, k int) *Result {
-	res := buildParallel(g, func(u int, _ *graph.BFSScratch) *graph.Tree {
-		return domtree.KGreedy(g, u, k)
+	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, k)
 	})
 	res.R = 2
 	return res
@@ -71,8 +100,8 @@ func TwoConnecting(g *graph.Graph) *Result { return KMIS(g, 2) }
 // trees over all roots. For k = 2 this is the paper's Th. 3
 // construction.
 func KMIS(g *graph.Graph, k int) *Result {
-	res := buildParallel(g, func(u int, _ *graph.BFSScratch) *graph.Tree {
-		return domtree.KMIS(g, u, k)
+	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KMISCSR(c, s, u, k)
 	})
 	res.R = 2
 	return res
@@ -84,8 +113,8 @@ func KMIS(g *graph.Graph, k int) *Result {
 // doubling metric of dimension p it has O(ε^{−(p+1)} n) edges.
 func LowStretch(g *graph.Graph, eps float64) *Result {
 	r, epsEff := RadiusFor(eps)
-	res := buildParallel(g, func(u int, s *graph.BFSScratch) *graph.Tree {
-		return domtree.MIS(g, s, u, r)
+	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.MISCSR(c, s, u, r)
 	})
 	res.R = r
 	res.EpsEff = epsEff
@@ -98,16 +127,18 @@ func LowStretch(g *graph.Graph, eps float64) *Result {
 // log Δ factor in size).
 func LowStretchGreedy(g *graph.Graph, eps float64) *Result {
 	r, epsEff := RadiusFor(eps)
-	res := buildParallel(g, func(u int, s *graph.BFSScratch) *graph.Tree {
-		return domtree.Greedy(g, s, u, r, 1)
+	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.GreedyCSR(c, s, u, r, 1)
 	})
 	res.R = r
 	res.EpsEff = epsEff
 	return res
 }
 
-// UnionSerial builds the union of builder(u) over all roots serially —
-// kept for the parallel-vs-serial ablation benchmark.
+// UnionSerial builds the union of builder(u) over all roots serially on
+// the mutable adjacency-list graph — the retained map-based reference
+// path: equivalence tests assert the CSR pipeline reproduces its edge
+// sets exactly, and the ablation benchmarks measure the gap.
 func UnionSerial(g *graph.Graph, builder func(u int, s *graph.BFSScratch) *graph.Tree) *Result {
 	h := graph.NewEdgeSet(g.N())
 	sizes := make([]int, g.N())

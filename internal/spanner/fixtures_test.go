@@ -97,8 +97,8 @@ func TestQuickLowStretchLadder(t *testing.T) {
 	f := func(seed int64) bool {
 		g := quickGraph(seed, 24, 46)
 		for _, r := range []int{2, 3, 4} {
-			res := buildParallel(g, func(u int, s *graph.BFSScratch) *graph.Tree {
-				return domtree.MIS(g, s, u, r)
+			res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+				return domtree.MISCSR(c, s, u, r)
 			})
 			if Check(g, res.H.Graph(), LowStretchOf(r)) != nil {
 				return false

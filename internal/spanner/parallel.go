@@ -5,26 +5,35 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"remspan/internal/domtree"
 	"remspan/internal/graph"
 )
 
-// buildParallel constructs one dominating tree per root using a worker
-// pool (roots are independent — the paper's algorithms need no
-// synchronization between node decisions) and merges the edges into a
-// single set. The merge order does not affect the result because the
-// union is a set; the output is identical to UnionSerial.
-func buildParallel(g *graph.Graph, builder func(u int, s *graph.BFSScratch) *graph.Tree) *Result {
-	n := g.N()
+// CSRBuilder builds the dominating tree for one root on an immutable
+// CSR snapshot, using (and owning until the next call) the scratch's
+// pooled tree. All production constructions are unions of these.
+type CSRBuilder func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree
+
+// buildParallel snapshots g once and constructs one dominating tree per
+// root using a worker pool (roots are independent — the paper's
+// algorithms need no synchronization between node decisions), merging
+// the edges into a single set. Each worker owns one domtree.Scratch, so
+// the per-root hot loop allocates nothing. The merge order does not
+// affect the result because the union is a set; the output is identical
+// to UnionSerialCSR and to the map-based UnionSerial reference.
+func buildParallel(g *graph.Graph, builder CSRBuilder) *Result {
+	c := graph.NewCSR(g)
+	n := c.N()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return UnionSerial(g, builder)
+		return UnionSerialCSR(c, builder)
 	}
 
 	sizes := make([]int, n)
-	h := graph.NewEdgeSet(n)
+	marks := graph.NewEdgeMarks(c)
 	var mu sync.Mutex
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -32,22 +41,38 @@ func buildParallel(g *graph.Graph, builder func(u int, s *graph.BFSScratch) *gra
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			scratch := graph.NewBFSScratch(n)
-			local := graph.NewEdgeSet(n)
+			scratch := domtree.NewScratch(n)
+			local := graph.NewEdgeMarks(c)
 			for {
 				u := int(next.Add(1)) - 1
 				if u >= n {
 					break
 				}
-				t := builder(u, scratch)
+				t := builder(c, scratch, u)
 				sizes[u] = t.EdgeCount()
 				local.AddTree(t)
 			}
 			mu.Lock()
-			h.Union(local)
+			marks.Union(local)
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return &Result{H: h, TreeEdges: sizes}
+	return &Result{H: marks.EdgeSet(), TreeEdges: sizes, marks: marks}
+}
+
+// UnionSerialCSR builds the union of builder(u) over all roots serially
+// on a prebuilt snapshot — the single-worker fallback and the serial
+// arm of the parallel-vs-serial ablation benchmark.
+func UnionSerialCSR(c *graph.CSR, builder CSRBuilder) *Result {
+	n := c.N()
+	marks := graph.NewEdgeMarks(c)
+	sizes := make([]int, n)
+	scratch := domtree.NewScratch(n)
+	for u := 0; u < n; u++ {
+		t := builder(c, scratch, u)
+		sizes[u] = t.EdgeCount()
+		marks.AddTree(t)
+	}
+	return &Result{H: marks.EdgeSet(), TreeEdges: sizes, marks: marks}
 }

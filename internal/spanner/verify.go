@@ -63,9 +63,11 @@ func (v *Violation) Error() string {
 // every ordered pair (u, v): d_{H_u}(u, v) ≤ α·d_G(u, v) + β for
 // non-adjacent u, v (adjacent pairs hold trivially with distance 1).
 // Returns the first violation found, or nil. Runs one BFS pair per
-// vertex, parallelized across vertices.
+// vertex over immutable CSR snapshots of g and h taken up front,
+// parallelized across vertices with per-worker scratch.
 func Check(g, h *graph.Graph, st Stretch) *Violation {
 	n := g.N()
+	cg, ch := graph.NewCSR(g), graph.NewCSR(h)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -88,8 +90,10 @@ func Check(g, h *graph.Graph, st Stretch) *Violation {
 				if u >= n {
 					return
 				}
-				dg, _, reached := gs.Bounded(g, u, n)
-				dh := vs.BFS(g, h, u)
+				// Touched-only reset keeps fragmented graphs O(Σ|component|),
+				// not O(n) per root.
+				dg, _, reached := gs.BoundedCSR(cg, u, n)
+				dh := vs.BFSCSR(cg, ch, u)
 				for _, v := range reached {
 					if dg[v] < 2 {
 						continue
@@ -124,13 +128,14 @@ type Profile struct {
 // MeasureProfile computes the observed stretch profile of h over g.
 func MeasureProfile(g, h *graph.Graph) Profile {
 	n := g.N()
+	cg, ch := graph.NewCSR(g), graph.NewCSR(h)
 	vs := NewViewScratch(n)
 	gs := graph.NewBFSScratch(n)
 	var p Profile
 	sum := 0.0
 	for u := 0; u < n; u++ {
-		dg, _, reached := gs.Bounded(g, u, n)
-		dh := vs.BFS(g, h, u)
+		dg, _, reached := gs.BoundedCSR(cg, u, n)
+		dh := vs.BFSCSR(cg, ch, u)
 		for _, v := range reached {
 			if dg[v] < 2 || dh[v] == graph.Unreached {
 				continue

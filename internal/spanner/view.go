@@ -63,6 +63,37 @@ func NewViewScratch(n int) *ViewScratch {
 	return &ViewScratch{dist: d, queue: make([]int32, 0, n)}
 }
 
+// BFSCSR returns distances from u in H_u over CSR snapshots of g and h
+// (u's incident edges from cg, all other adjacency from ch); the slice
+// is valid until the next call. This is the traversal the all-pairs
+// verification sweep runs once per vertex.
+func (s *ViewScratch) BFSCSR(cg, ch *graph.CSR, u int) []int32 {
+	for _, v := range s.queue {
+		s.dist[v] = graph.Unreached
+	}
+	s.queue = s.queue[:0]
+
+	s.dist[u] = 0
+	s.queue = append(s.queue, int32(u))
+	// Seed with G-neighbors of u, then continue over h.
+	for _, v := range cg.Neighbors(u) {
+		if s.dist[v] == graph.Unreached {
+			s.dist[v] = 1
+			s.queue = append(s.queue, v)
+		}
+	}
+	for head := 1; head < len(s.queue); head++ {
+		x := s.queue[head]
+		for _, v := range ch.Neighbors(int(x)) {
+			if s.dist[v] == graph.Unreached {
+				s.dist[v] = s.dist[x] + 1
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return s.dist
+}
+
 // BFS returns distances from u in H_u; the slice is valid until the
 // next call.
 func (s *ViewScratch) BFS(g, h *graph.Graph, u int) []int32 {
