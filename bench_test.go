@@ -5,6 +5,8 @@
 package remspan_test
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -94,7 +96,11 @@ func BenchmarkConstructLowStretch(b *testing.B) {
 	b.ResetTimer()
 	var edges int
 	for i := 0; i < b.N; i++ {
-		edges = remspan.LowStretch(g, 0.5).Edges()
+		s, err := remspan.LowStretch(g, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = s.Edges()
 	}
 	b.ReportMetric(float64(edges), "edges")
 }
@@ -150,7 +156,7 @@ func BenchmarkAblationParallel(b *testing.B) {
 		// snapshots per construction — both arms then differ only in
 		// the worker pool.
 		for i := 0; i < b.N; i++ {
-			spanner.UnionSerialCSR(graph.NewCSR(g), func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+			spanner.UnionSerialCSR(graph.NewCSR(g), func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 				return domtree.KGreedyCSR(c, s, u, 1)
 			})
 		}
@@ -178,7 +184,7 @@ func BenchmarkAblationPipeline(b *testing.B) {
 	b.Run("csr-scratch", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			spanner.UnionSerialCSR(graph.NewCSR(g), func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+			spanner.UnionSerialCSR(graph.NewCSR(g), func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 				return domtree.KGreedyCSR(c, s, u, 1)
 			})
 		}
@@ -228,27 +234,66 @@ func BenchmarkAblationGreedyVsMIS(b *testing.B) {
 	})
 }
 
-// Incremental spanner maintenance vs full recomputation per change.
+// Incremental spanner maintenance per change: the snapshot-free delta
+// path (single and batched) vs the snapshot-per-change ablation vs full
+// recomputation.
 func BenchmarkAblationIncremental(b *testing.B) {
 	gg := remspan.RandomUDG(400, 4, 1)
 	g := graph.FromEdges(gg.N(), gg.Edges())
-	build := func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	build := func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.KGreedyCSR(c, s, u, 1)
 	}
-	b.Run("incremental", func(b *testing.B) {
+	toggle := func(m *dynamic.Maintainer, rng *rand.Rand) {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			return
+		}
+		if m.Graph().HasEdge(u, v) {
+			m.RemoveEdge(u, v)
+		} else {
+			m.AddEdge(u, v)
+		}
+	}
+	b.Run("incremental-delta", func(b *testing.B) {
 		m := dynamic.New(g, 1, build)
 		rng := rand.New(rand.NewSource(2))
 		b.ResetTimer()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			u, v := rng.Intn(g.N()), rng.Intn(g.N())
-			if u == v {
-				continue
+			toggle(m, rng)
+		}
+	})
+	b.Run("incremental-batch64", func(b *testing.B) {
+		m := dynamic.New(g, 1, build)
+		rng := rand.New(rand.NewSource(2))
+		batch := make([]dynamic.Change, 0, 64)
+		b.ResetTimer()
+		b.ReportAllocs()
+		// One op = one batch of 64 toggles with a single unioned repair.
+		for i := 0; i < b.N; i++ {
+			batch = batch[:0]
+			for len(batch) < cap(batch) {
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				if u == v {
+					continue
+				}
+				kind := dynamic.AddEdge
+				if m.Graph().HasEdge(u, v) {
+					kind = dynamic.RemoveEdge
+				}
+				batch = append(batch, dynamic.Change{Kind: kind, U: u, V: v})
 			}
-			if m.Graph().HasEdge(u, v) {
-				m.RemoveEdge(u, v)
-			} else {
-				m.AddEdge(u, v)
-			}
+			m.ApplyBatch(batch)
+		}
+	})
+	b.Run("incremental-snapshot", func(b *testing.B) {
+		m := dynamic.New(g, 1, build)
+		m.SetSnapshotPerChange(true)
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			toggle(m, rng)
 		}
 	})
 	b.Run("full-rebuild", func(b *testing.B) {
@@ -273,6 +318,47 @@ func BenchmarkAblationIncremental(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMaintainerToggle pins the snapshot-free guarantee: a single
+// edge toggle's time and allocations must not grow with n (with the
+// delta-patched CSR there is no O(n+m) copy on the path; compare the
+// allocs/op across the sub-benchmarks and against the snapshot arm of
+// BenchmarkAblationIncremental).
+func BenchmarkMaintainerToggle(b *testing.B) {
+	build := func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, 1)
+	}
+	for _, n := range []int{2000, 20000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Side ∝ √n keeps the average degree ≈ 8 across sizes —
+			// supercritical (2D percolation threshold ≈ 4.5), so the
+			// kept largest component spans nearly all n vertices.
+			side := math.Sqrt(math.Pi * float64(n) / 8)
+			gg := remspan.RandomUDG(n, side, 1)
+			g := graph.FromEdges(gg.N(), gg.Edges())
+			m := dynamic.New(g, 1, build)
+			rng := rand.New(rand.NewSource(3))
+			// Toggle within a fixed pool so rows stay warm (steady state).
+			pool := make([][2]int, 0, 128)
+			for len(pool) < cap(pool) {
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				if u != v {
+					pool = append(pool, [2]int{u, v})
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pool[rng.Intn(len(pool))]
+				if m.Graph().HasEdge(p[0], p[1]) {
+					m.RemoveEdge(p[0], p[1])
+				} else {
+					m.AddEdge(p[0], p[1])
+				}
+			}
+		})
+	}
 }
 
 // Eager vs lazy (priority-queue) greedy k-cover selection, plus the

@@ -1,27 +1,48 @@
-// Command benchjson runs the spanner-construction micro-benchmarks
-// (the same workloads as BenchmarkConstruct* in bench_test.go) and
-// emits a machine-readable JSON report, so the performance trajectory
-// of the construction pipeline is tracked across PRs:
+// Command benchjson runs the performance suites and emits
+// machine-readable JSON reports so the trajectory is tracked across
+// PRs:
 //
-//	go run ./cmd/benchjson -n 400 -out BENCH_construct.json
+//	go run ./cmd/benchjson -suite construct -n 400 -out BENCH_construct.json
+//	go run ./cmd/benchjson -suite churn -churn-sizes 2000,10000,50000 -out BENCH_churn.json
 //
-// Each record carries time/op, allocations/op, bytes/op and the
-// constructed edge count; "context" pins the workload parameters the
-// numbers were measured under.
+// The construct suite mirrors the BenchmarkConstruct* micro-benchmarks
+// (time/op, allocations/op, edge counts for the four spanner families).
+//
+// The churn suite measures incremental maintenance throughput
+// (changes/sec) for all four tree builders under localized and
+// scattered edge churn, at several graph sizes, in three modes:
+// "single" (one change per repair), "batch" (ApplyBatch with unioned
+// dirty sets) and "snapshot" (the pre-delta ablation baseline that
+// re-snapshots the CSR per change). Each record carries allocations and
+// trees rebuilt per change; "context" pins the workload parameters.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"remspan"
+	"remspan/internal/dynamic"
+	"remspan/internal/graph"
 )
 
-type record struct {
+func mustSpanner(s *remspan.Spanner, err error) *remspan.Spanner {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	return s
+}
+
+type constructRecord struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -30,31 +51,115 @@ type record struct {
 	Iterations  int     `json:"iterations"`
 }
 
-type report struct {
+type constructReport struct {
 	Context struct {
-		N          int    `json:"n"`
+		N          int     `json:"n"`
+		Side       float64 `json:"udg_side"`
+		AvgDegree  float64 `json:"avg_degree"`
+		Seed       int64   `json:"seed"`
+		GraphEdges int     `json:"graph_edges"`
+		GoVersion  string  `json:"go_version"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+	} `json:"context"`
+	Benchmarks []constructRecord `json:"benchmarks"`
+}
+
+type churnRecord struct {
+	Builder               string  `json:"builder"`
+	Radius                int     `json:"radius"`
+	N                     int     `json:"n"`
+	GraphEdges            int     `json:"graph_edges"`
+	Locality              string  `json:"locality"`
+	Mode                  string  `json:"mode"`
+	BatchSize             int     `json:"batch_size"`
+	NsPerChange           float64 `json:"ns_per_change"`
+	AllocsPerChange       float64 `json:"allocs_per_change"`
+	BytesPerChange        float64 `json:"bytes_per_change"`
+	ChangesPerSec         float64 `json:"changes_per_sec"`
+	TreesRebuiltPerChange float64 `json:"trees_rebuilt_per_change"`
+	Changes               int64   `json:"changes_measured"`
+}
+
+type churnReport struct {
+	Context struct {
+		Sizes      []int  `json:"sizes"`
 		Degree     int    `json:"target_degree"`
 		Seed       int64  `json:"seed"`
-		GraphEdges int    `json:"graph_edges"`
+		BatchSize  int    `json:"batch_size"`
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"context"`
-	Benchmarks []record `json:"benchmarks"`
+	Benchmarks []churnRecord `json:"benchmarks"`
 }
 
 func main() {
-	n := flag.Int("n", 400, "graph size (vertices)")
-	deg := flag.Int("deg", 4, "target average degree of the random UDG")
+	suite := flag.String("suite", "construct", "benchmark suite: construct | churn")
+	n := flag.Int("n", 400, "construct suite: graph size (vertices)")
+	side := flag.Float64("side", 4, "construct suite: UDG square side (the historical dense-graph workload; the real mean degree lands near n/5 and is reported as avg_degree)")
+	churnDeg := flag.Int("churn-deg", 8, "churn suite: target average UDG degree (keep > ~4.5, the percolation threshold)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	out := flag.String("out", "BENCH_construct.json", "output path (- for stdout)")
+	sizes := flag.String("churn-sizes", "2000,10000,50000", "churn suite: comma-separated graph sizes")
+	batch := flag.Int("batch", 64, "churn suite: ApplyBatch size for the batch mode")
+	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
 
-	g := remspan.RandomUDG(*n, float64(*deg), *seed)
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
+	}
+	var data []byte
+	switch *suite {
+	case "construct":
+		data = runConstruct(*n, *side, *seed)
+	case "churn":
+		data = runChurn(parseSizes(*sizes), *churnDeg, *seed, *batch)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
 
-	var rep report
+func parseSizes(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 16 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad size %q\n", f)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func marshal(rep any) []byte {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	return append(data, '\n')
+}
+
+// runConstruct benchmarks the four constructions on the historical
+// dense workload: n points in a fixed side×side square (NOT a constant
+// average degree — density, and with it mean degree, grows with n; the
+// actual mean degree is recorded in the context).
+func runConstruct(n int, side float64, seed int64) []byte {
+	g := remspan.RandomUDG(n, side, seed)
+
+	var rep constructReport
 	rep.Context.N = g.N()
-	rep.Context.Degree = *deg
-	rep.Context.Seed = *seed
+	rep.Context.Side = side
+	rep.Context.AvgDegree = 2 * float64(g.M()) / float64(g.N())
+	rep.Context.Seed = seed
 	rep.Context.GraphEdges = g.M()
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
@@ -66,7 +171,7 @@ func main() {
 		{"ConstructExact", func() int { return remspan.Exact(g).Edges() }},
 		{"ConstructKConnecting3", func() int { return remspan.KConnecting(g, 3).Edges() }},
 		{"ConstructTwoConnecting", func() int { return remspan.TwoConnecting(g).Edges() }},
-		{"ConstructLowStretch", func() int { return remspan.LowStretch(g, 0.5).Edges() }},
+		{"ConstructLowStretch", func() int { return mustSpanner(remspan.LowStretch(g, 0.5)).Edges() }},
 	}
 	for _, c := range cases {
 		edges := 0
@@ -76,7 +181,7 @@ func main() {
 				edges = c.run()
 			}
 		})
-		rep.Benchmarks = append(rep.Benchmarks, record{
+		rep.Benchmarks = append(rep.Benchmarks, constructRecord{
 			Name:        c.name,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
@@ -87,19 +192,180 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d allocs/op %6d edges\n",
 			c.name, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp(), edges)
 	}
+	return marshal(&rep)
+}
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+// candidatePairs returns the pool of vertex pairs a churn run toggles.
+// Localized churn confines the pool to a BFS ball around a max-degree
+// vertex (the paper's locality dividend case); scattered churn draws
+// from the whole vertex set.
+func candidatePairs(g *graph.Graph, localized bool, rng *rand.Rand) [][2]int {
+	pool := 256
+	var members []int32
+	if localized {
+		center := 0
+		for u := 1; u < g.N(); u++ {
+			if g.Degree(u) > g.Degree(center) {
+				center = u
+			}
+		}
+		dist := graph.BFS(g, center)
+		for radius := int32(4); len(members) < 64 && radius <= 8; radius++ {
+			members = members[:0]
+			for v, d := range dist {
+				if d != graph.Unreached && d <= radius {
+					members = append(members, int32(v))
+				}
+			}
+		}
+	} else {
+		for v := 0; v < g.N(); v++ {
+			members = append(members, int32(v))
+		}
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	// Canonicalize (u < v) and dedupe so the pool holds distinct
+	// undirected pairs: batches dealt from it then contain no repeated
+	// edge, and every toggle in a batch applies.
+	seen := make(map[[2]int]struct{}, pool)
+	out := make([][2]int, 0, pool)
+	for attempts := 0; len(out) < pool && attempts < 64*pool; attempts++ {
+		u := int(members[rng.Intn(len(members))])
+		v := int(members[rng.Intn(len(members))])
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := [2]int{u, v}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return out
+}
+
+func runChurn(sizes []int, deg int, seed int64, batchSize int) []byte {
+	var rep churnReport
+	rep.Context.Sizes = sizes
+	rep.Context.Degree = deg
+	rep.Context.Seed = seed
+	rep.Context.BatchSize = batchSize
+	rep.Context.GoVersion = runtime.Version()
+	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	for _, n := range sizes {
+		// Side grows with √n so the average degree stays ≈ deg at every
+		// size (UDG degree is π·density; density = n/side²) — the churn
+		// trajectory then isolates the effect of n, not of densification.
+		// deg must sit above the 2D continuum-percolation threshold
+		// (mean degree ≈ 4.5): RandomUDG keeps only the largest
+		// component's edges, so a subcritical target would yield mostly
+		// isolated vertices and a vacuous benchmark.
+		side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+		gg := remspan.RandomUDG(n, side, seed)
+		g := graph.FromEdges(gg.N(), gg.Edges())
+		for _, bb := range dynamic.Builders() {
+			for _, locality := range []string{"localized", "scattered"} {
+				pairs := candidatePairs(g, locality == "localized", rand.New(rand.NewSource(seed+7)))
+				for _, mode := range []string{"single", "batch", "snapshot"} {
+					rec := measureChurn(g, bb.Build, bb.Radius, pairs, mode, batchSize)
+					rec.Builder = bb.Name
+					rec.Radius = bb.Radius
+					rec.N = g.N()
+					rec.GraphEdges = g.M()
+					rec.Locality = locality
+					rep.Benchmarks = append(rep.Benchmarks, rec)
+					fmt.Fprintf(os.Stderr,
+						"churn %-8s n=%-6d %-9s %-8s %10.0f changes/sec %8.1f allocs/change %7.2f trees/change\n",
+						bb.Name, g.N(), locality, mode, rec.ChangesPerSec,
+						rec.AllocsPerChange, rec.TreesRebuiltPerChange)
+				}
+			}
+		}
 	}
+	return marshal(&rep)
+}
+
+// measureChurn benchmarks one (builder, workload, mode) cell. The op is
+// one applied change in single/snapshot mode and one ApplyBatch of
+// batchSize toggles in batch mode; throughput is normalized to
+// changes/sec either way.
+func measureChurn(g *graph.Graph, build dynamic.TreeBuilder, radius int, pairs [][2]int, mode string, batchSize int) churnRecord {
+	// Own the pool: batch mode shuffles it, and the three mode arms must
+	// draw identically-ordered streams from the same pairs to be
+	// directly comparable.
+	pairs = append([][2]int(nil), pairs...)
+	m := dynamic.New(g, radius, build)
+	if mode == "snapshot" {
+		m.SetSnapshotPerChange(true)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var changes int64
+	rebuiltBase := m.TreesRebuilt()
+	perOp := 1
+	var res testing.BenchmarkResult
+	if mode == "batch" {
+		if batchSize > len(pairs) {
+			batchSize = len(pairs)
+		}
+		perOp = batchSize
+		batch := make([]dynamic.Change, batchSize)
+		// The pool holds distinct undirected pairs; trimming it to a
+		// multiple of the batch size aligns batches with reshuffle
+		// boundaries, so pairs within one batch are always distinct,
+		// every toggle applies, and ApplyBatch does exactly batchSize
+		// changes per op (the changes/sec normalization relies on it).
+		pairs = pairs[:len(pairs)/batchSize*batchSize]
+		next := len(pairs)
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					if next >= len(pairs) {
+						rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+						next = 0
+					}
+					p := pairs[next]
+					next++
+					kind := dynamic.AddEdge
+					if m.Graph().HasEdge(p[0], p[1]) {
+						kind = dynamic.RemoveEdge
+					}
+					batch[j] = dynamic.Change{Kind: kind, U: p[0], V: p[1]}
+				}
+				changes += int64(m.ApplyBatch(batch))
+			}
+		})
+	} else {
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[rng.Intn(len(pairs))]
+				if m.Graph().HasEdge(p[0], p[1]) {
+					m.RemoveEdge(p[0], p[1])
+				} else {
+					m.AddEdge(p[0], p[1])
+				}
+				changes++
+			}
+		})
+	}
+	rebuilt := m.TreesRebuilt() - rebuiltBase
+	nsPerChange := float64(res.T.Nanoseconds()) / float64(res.N*perOp)
+	rec := churnRecord{
+		Mode:            mode,
+		BatchSize:       perOp,
+		NsPerChange:     nsPerChange,
+		AllocsPerChange: float64(res.AllocsPerOp()) / float64(perOp),
+		BytesPerChange:  float64(res.AllocedBytesPerOp()) / float64(perOp),
+		ChangesPerSec:   1e9 / nsPerChange,
+		Changes:         changes,
+	}
+	if changes > 0 {
+		rec.TreesRebuiltPerChange = float64(rebuilt) / float64(changes)
+	}
+	return rec
 }

@@ -138,7 +138,7 @@ func runCentralized(g *remspan.Graph, algo string, k int, eps float64) (*remspan
 	case "2conn":
 		return remspan.TwoConnecting(g), nil
 	case "lowstretch":
-		return remspan.LowStretch(g, eps), nil
+		return remspan.LowStretch(g, eps)
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", algo)
 }
@@ -156,7 +156,11 @@ func runDistributed(g *remspan.Graph, algo string, k int, eps float64) (*remspan
 	case "2conn":
 		a, sp = remspan.AlgoTwoConnecting, remspan.TwoConnecting(g)
 	case "lowstretch":
-		a, sp = remspan.AlgoLowStretch, remspan.LowStretch(g, eps)
+		low, err := remspan.LowStretch(g, eps)
+		if err != nil {
+			return nil, err
+		}
+		a, sp = remspan.AlgoLowStretch, low
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}

@@ -29,7 +29,11 @@ func ExampleExact() {
 // ε is rounded down to ε' = 1/⌈1/ε⌉ so the guarantee is exact rational.
 func ExampleLowStretch() {
 	g := remspan.RandomUDG(200, 4, 7)
-	s := remspan.LowStretch(g, 0.5)
+	s, err := remspan.LowStretch(g, 0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	fmt.Println("radius:", s.Radius)
 	fmt.Println("guarantee:", s.Guarantee)
 	fmt.Println("valid:", remspan.Verify(g, s.H, s.Guarantee) == nil)

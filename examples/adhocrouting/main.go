@@ -18,12 +18,16 @@ func main() {
 	fmt.Printf("ad-hoc network: %d nodes, %d links (avg degree %.1f)\n\n",
 		g.N(), g.M(), 2*float64(g.M())/float64(g.N()))
 
+	low, err := remspan.LowStretch(g, 0.5)
+	if err != nil {
+		panic(err)
+	}
 	structures := []struct {
 		name string
 		s    *remspan.Spanner
 	}{
 		{"(1,0)-remote-spanner   ", remspan.Exact(g)},
-		{"(3/2,0)-remote-spanner ", remspan.LowStretch(g, 0.5)},
+		{"(3/2,0)-remote-spanner ", low},
 		{"(2,-1) 2-connecting    ", remspan.TwoConnecting(g)},
 	}
 

@@ -10,18 +10,21 @@ import (
 // The *CSR builders are the production forms of the map-based reference
 // builders in kgreedy.go / greedy.go / mis.go / kmis.go: same
 // algorithms, same deterministic output edge-for-edge (asserted by the
-// equivalence tests and fuzz target), but running over an immutable
-// graph.CSR snapshot with epoch-stamped Scratch arrays instead of hash
-// maps, and — for the greedy set covers — lazy-heap selection instead of
-// a full candidate rescan per pick. An all-roots sweep with a shared
-// Scratch performs no per-root allocations.
+// equivalence tests and fuzz target), but running over a graph.View —
+// an immutable graph.CSR snapshot in the batch pipeline, a patched
+// graph.CSRDelta in the incremental maintainer — with epoch-stamped
+// Scratch arrays instead of hash maps, and — for the greedy set covers —
+// lazy-heap selection instead of a full candidate rescan per pick. The
+// output depends only on the adjacency the View exposes, so the same
+// builder serves both pipelines unchanged. An all-roots sweep with a
+// shared Scratch performs no per-root allocations.
 
 // KGreedyCSR computes Algorithm 4 DomTreeGdy(2, 0, k) for root u on the
 // CSR snapshot; see KGreedy for the algorithm and guarantees. Greedy
 // selection uses the lazy heap (candidate gains only decrease, so a
 // possibly-stale max-heap pops the true argmax after a few refreshes),
 // preserving the (gain desc, id asc) tie-break of the eager reference.
-func KGreedyCSR(c *graph.CSR, s *Scratch, u, k int) *graph.Tree {
+func KGreedyCSR(c graph.View, s *Scratch, u, k int) *graph.Tree {
 	if k < 1 {
 		panic("domtree: KGreedyCSR requires k >= 1")
 	}
@@ -115,12 +118,12 @@ func KGreedyCSR(c *graph.CSR, s *Scratch, u, k int) *graph.Tree {
 
 // MISCSR computes Algorithm 2 DomTreeMIS(r, 1) for root u on the CSR
 // snapshot; see MIS for the algorithm and guarantees.
-func MISCSR(c *graph.CSR, s *Scratch, u, r int) *graph.Tree {
+func MISCSR(c graph.View, s *Scratch, u, r int) *graph.Tree {
 	if r < 2 {
 		panic("domtree: MISCSR requires r >= 2")
 	}
 	s = ensure(s, c.N())
-	dist, parent, visited := s.bfs.BoundedCSR(c, u, r)
+	dist, parent, visited := s.bfs.BoundedView(c, u, r)
 	t := s.tree(u)
 
 	// B = vertices with 2 <= dist <= r, processed by (dist, id). Dense
@@ -204,7 +207,7 @@ func MISCSR(c *graph.CSR, s *Scratch, u, r int) *graph.Tree {
 // cover runs on the lazy heap, killing the O(|X|²) candidate rescan of
 // the reference while preserving its (gain desc, id asc) selection
 // order exactly (see the determinism contract in greedy.go).
-func GreedyCSR(c *graph.CSR, s *Scratch, u, r, beta int) *graph.Tree {
+func GreedyCSR(c graph.View, s *Scratch, u, r, beta int) *graph.Tree {
 	if r < 2 {
 		panic("domtree: GreedyCSR requires r >= 2")
 	}
@@ -216,7 +219,7 @@ func GreedyCSR(c *graph.CSR, s *Scratch, u, r, beta int) *graph.Tree {
 	if r > radius {
 		radius = r
 	}
-	dist, parent, visited := s.bfs.BoundedCSR(c, u, radius)
+	dist, parent, visited := s.bfs.BoundedView(c, u, radius)
 	t := s.tree(u)
 
 	for rp := 2; rp <= r; rp++ {
@@ -293,7 +296,7 @@ func GreedyCSR(c *graph.CSR, s *Scratch, u, r, beta int) *graph.Tree {
 
 // KMISCSR computes Algorithm 5 DomTreeMIS(2, 1, k) for root u on the
 // CSR snapshot; see KMIS for the algorithm and guarantees.
-func KMISCSR(c *graph.CSR, s *Scratch, u, k int) *graph.Tree {
+func KMISCSR(c graph.View, s *Scratch, u, k int) *graph.Tree {
 	if k < 1 {
 		panic("domtree: KMISCSR requires k >= 1")
 	}

@@ -106,7 +106,7 @@ func (s *Scratch) tree(root int) *graph.Tree {
 // disjointWitnesses is countDisjointWitnesses on the CSR snapshot with a
 // stamp array instead of a branch map: the number of distinct root
 // branches among v's tree neighbors within depth [1, maxDepth].
-func (s *Scratch) disjointWitnesses(c *graph.CSR, t *graph.Tree, v, maxDepth int) int {
+func (s *Scratch) disjointWitnesses(c graph.View, t *graph.Tree, v, maxDepth int) int {
 	seen := s.stampD
 	e := s.nextEpoch()
 	count := 0

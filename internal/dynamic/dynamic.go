@@ -7,38 +7,108 @@
 // of the work (the incremental-vs-full ablation is benchmarked in
 // bench_test.go).
 //
-// Tree rebuilds run on the same CSR + scratch fast path as the batch
-// constructions: the maintainer keeps an immutable CSR snapshot of the
-// current graph (refreshed once per applied change) and stores each
-// root's tree as a compact (child, parent) edge list. The refresh puts
-// an O(n+m) floor under each applied change — a deliberate trade: it
-// keeps one builder code path, and rebuild work (|dirty| bounded
-// traversals) dominates the snapshot copy on the churn workloads
-// benchmarked; an incremental CSR patch could remove the floor if
-// localized churn on huge graphs ever becomes the bottleneck.
+// Tree rebuilds run on the same builder code path as the batch
+// constructions, via the graph.View read interface: the maintainer
+// keeps a graph.CSRDelta — a CSR snapshot patched in place as edges
+// change — so a change costs O(deg) row edits plus |dirty| bounded
+// rebuilds, with no O(n+m) re-snapshot anywhere on the path. Per-change
+// work is therefore a function of the locality radius and the local
+// degree, not of the graph, and on large graphs with localized churn
+// the maintainer sustains throughput independent of n (measured by the
+// BENCH_churn.json suite; the old snapshot-per-change behavior is kept
+// behind SetSnapshotPerChange as the ablation baseline).
+//
+// Batches: ApplyBatch applies a whole slice of changes, unions their
+// dirty sets, and rebuilds each dirty root exactly once, fanning the
+// rebuilds across a worker pool with one domtree.Scratch per worker
+// (the spanner.buildParallel pattern). Rebuilding the union against the
+// final graph is exact: a root outside every per-change dirty set has,
+// by the locality argument, an R-ball whose adjacency never changed at
+// any point of the batch, so its stored tree is already the tree a full
+// recomputation would build.
 package dynamic
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"remspan/internal/domtree"
 	"remspan/internal/graph"
 )
 
-// TreeBuilder builds the dominating tree for a root on a CSR snapshot
+// TreeBuilder builds the dominating tree for a root on a graph.View
 // (e.g. a domtree.KGreedyCSR or domtree.MISCSR closure). The returned
 // tree may be owned by the scratch; the maintainer copies the edges out
-// before the next call.
-type TreeBuilder func(c *graph.CSR, scratch *domtree.Scratch, u int) *graph.Tree
+// before the next call. Batch repairs invoke the builder from several
+// goroutines at once (each with its own scratch), so the closure must
+// not touch shared mutable state beyond the view and scratch it is
+// handed.
+type TreeBuilder func(c graph.View, scratch *domtree.Scratch, u int) *graph.Tree
+
+// BuilderSpec couples a production tree builder with the locality
+// radius R = r−1+β a Maintainer must be given for it.
+type BuilderSpec struct {
+	Name   string
+	Radius int
+	Build  TreeBuilder
+}
+
+// Builders returns the canonical table of the four production tree
+// builders at their benchmark parameterizations (Exact k=1, Algorithm 5
+// k=2, and the two r=3 low-stretch families). The churn benchmarks
+// (cmd/benchjson, bench_test.go) and the equivalence tests consume this
+// one table so builder and radius can never fall out of sync.
+func Builders() []BuilderSpec {
+	return []BuilderSpec{
+		{"kgreedy1", 1, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+			return domtree.KGreedyCSR(c, s, u, 1)
+		}},
+		{"kmis2", 2, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+			return domtree.KMISCSR(c, s, u, 2)
+		}},
+		{"mis3", 3, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+			return domtree.MISCSR(c, s, u, 3)
+		}},
+		{"greedy3", 3, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+			return domtree.GreedyCSR(c, s, u, 3, 1)
+		}},
+	}
+}
+
+// Kind discriminates the change types ApplyBatch accepts.
+type Kind uint8
+
+// Change kinds.
+const (
+	// AddEdge inserts edge {U, V}.
+	AddEdge Kind = iota
+	// RemoveEdge deletes edge {U, V}.
+	RemoveEdge
+	// FailVertex removes every edge incident to U (V is ignored).
+	FailVertex
+)
+
+// Change is one topology change of a churn batch.
+type Change struct {
+	Kind Kind
+	U, V int
+}
 
 // Maintainer keeps the union-of-trees spanner of a mutable graph.
 type Maintainer struct {
-	g       *graph.Graph
-	csr     *graph.CSR // snapshot of g after the last applied change
-	build   TreeBuilder
-	radius  int          // locality radius R of the tree construction
-	trees   [][][2]int32 // per-root tree edges as (child, parent) pairs
-	scratch *domtree.Scratch
-	dirty   *graph.BFSScratch // bounded sweeps for dirty-set computation
-	rebuilt int64             // cumulative trees rebuilt (for the ablation metric)
+	g      *graph.Graph    // mutable mirror (dirty-set sweeps, API reads)
+	delta  *graph.CSRDelta // patched snapshot the builders read
+	view   graph.View      // delta, or a fresh CSR in snapshot-ablation mode
+	build  TreeBuilder
+	radius int          // locality radius R of the tree construction
+	trees  [][][2]int32 // per-root tree edges as (child, parent) pairs
+
+	scratch   *domtree.Scratch   // serial rebuilds
+	workers   []*domtree.Scratch // pooled per-worker scratches for batches
+	dirty     *graph.BFSScratch  // bounded sweeps + dirty-union accumulator
+	rebuilt   int64              // cumulative trees rebuilt (ablation metric)
+	snapshots bool               // ablation: re-snapshot per applied change
 }
 
 // New computes the initial spanner over a clone of g. radius is the
@@ -56,23 +126,57 @@ func New(g *graph.Graph, radius int, build TreeBuilder) *Maintainer {
 		scratch: domtree.NewScratch(g.N()),
 		dirty:   graph.NewBFSScratch(g.N()),
 	}
-	m.csr = graph.NewCSR(m.g)
+	m.delta = graph.NewCSRDelta(graph.NewCSR(m.g))
+	m.view = m.delta
 	for u := 0; u < g.N(); u++ {
 		m.rebuildTree(u)
 	}
 	return m
 }
 
-// rebuildTree reconstructs root u's tree on the current snapshot and
-// stores a compact copy of its edges.
+// SetSnapshotPerChange toggles the pre-delta behavior of rebuilding a
+// full CSR snapshot after every applied change. It exists solely as the
+// baseline arm of the churn ablation benchmarks; the result is
+// identical either way, only the per-change cost regains its O(n+m)
+// floor.
+func (m *Maintainer) SetSnapshotPerChange(on bool) {
+	m.snapshots = on
+	if on {
+		m.view = graph.NewCSR(m.g)
+	} else {
+		m.view = m.delta
+	}
+}
+
+// refresh re-snapshots the view in snapshot-ablation mode (no-op on the
+// delta path, where the view was already patched in place).
+func (m *Maintainer) refresh() {
+	if m.snapshots {
+		m.view = graph.NewCSR(m.g)
+	}
+}
+
+// storeTree replaces root u's stored edge list with a compact copy of
+// t's edges, reusing the previous copy's capacity.
+func (m *Maintainer) storeTree(u int, t *graph.Tree) {
+	buf := m.trees[u][:0]
+	for _, v := range t.Nodes() {
+		if p := t.Parent(int(v)); p >= 0 {
+			buf = append(buf, [2]int32{v, int32(p)})
+		}
+	}
+	m.trees[u] = buf
+}
+
+// rebuildTree reconstructs root u's tree on the current view and stores
+// its edges.
 func (m *Maintainer) rebuildTree(u int) {
-	t := m.build(m.csr, m.scratch, u)
-	m.trees[u] = t.Edges()
+	m.storeTree(u, m.build(m.view, m.scratch, u))
 	m.rebuilt++
 }
 
 // Graph returns the maintained graph (do not mutate directly — use
-// AddEdge/RemoveEdge).
+// AddEdge/RemoveEdge/FailVertex/ApplyBatch).
 func (m *Maintainer) Graph() *graph.Graph { return m.g }
 
 // Spanner returns the current union-of-trees spanner.
@@ -87,38 +191,134 @@ func (m *Maintainer) Spanner() *graph.EdgeSet {
 }
 
 // TreesRebuilt returns the cumulative number of tree constructions
-// (including the initial build).
+// (including the initial build). The dirty-root set is accumulated in
+// sorted order, so the count trace — and every stored tree — is
+// reproducible run to run; only the execution interleaving of the
+// parallel batch repair varies (roots are independent, so it cannot
+// affect results).
 func (m *Maintainer) TreesRebuilt() int64 { return m.rebuilt }
+
+// applyOne applies one change to the graph and the delta, accumulating
+// the roots it dirties into the scratch union. Reports whether the
+// change had any effect. Dirty sweeps run on the state the locality
+// argument needs: post-change for insertions (new vertices become
+// reachable through the edge), pre-change for deletions (roots that
+// could reach the edge before it vanished).
+func (m *Maintainer) applyOne(ch Change) bool {
+	switch ch.Kind {
+	case AddEdge:
+		if !m.g.AddEdge(ch.U, ch.V) {
+			return false
+		}
+		m.delta.AddEdge(ch.U, ch.V)
+		m.dirty.UnionBounded(m.g, ch.U, m.radius)
+		m.dirty.UnionBounded(m.g, ch.V, m.radius)
+		return true
+	case RemoveEdge:
+		if !m.g.HasEdge(ch.U, ch.V) {
+			return false
+		}
+		m.dirty.UnionBounded(m.g, ch.U, m.radius)
+		m.dirty.UnionBounded(m.g, ch.V, m.radius)
+		m.g.RemoveEdge(ch.U, ch.V)
+		m.delta.RemoveEdge(ch.U, ch.V)
+		return true
+	case FailVertex:
+		x := ch.U
+		nbrs := m.g.Neighbors(x)
+		if len(nbrs) == 0 {
+			return false
+		}
+		// One radius-(R+1) sweep from x replaces the per-incident-edge
+		// union ∪_{v∈N(x)} (B(x,R) ∪ B(v,R)): every v is adjacent to x,
+		// so B(v,R) ⊆ B(x,R+1); conversely any w at distance R+1 from x
+		// reaches x through some neighbor v with d(w,v) = R, so the two
+		// sets are equal (pinned by TestFailVertexDirtySweepEqualsUnion).
+		m.dirty.UnionBounded(m.g, x, m.radius+1)
+		for len(nbrs) > 0 {
+			v := int(nbrs[len(nbrs)-1])
+			m.g.RemoveEdge(x, v)
+			m.delta.RemoveEdge(x, v)
+			nbrs = m.g.Neighbors(x)
+		}
+		return true
+	default:
+		panic("dynamic: unknown change kind")
+	}
+}
+
+// rebuildDirty rebuilds every root in the accumulated dirty union —
+// serially in ascending id order, or fanned out over workers for large
+// unions (per-root results are independent, so the nondeterministic
+// parallel interleaving yields the same trees).
+func (m *Maintainer) rebuildDirty() {
+	roots := m.dirty.UnionSorted()
+	const parallelThreshold = 32
+	if len(roots) < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 {
+		for _, u := range roots {
+			m.rebuildTree(int(u))
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	for len(m.workers) < workers {
+		m.workers = append(m.workers, domtree.NewScratch(m.g.N()))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		scratch := m.workers[w]
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(roots) {
+					return
+				}
+				u := int(roots[i])
+				m.storeTree(u, m.build(m.view, scratch, u))
+			}
+		}()
+	}
+	wg.Wait()
+	m.rebuilt += int64(len(roots))
+}
+
+// ApplyBatch applies the changes in order, unions their dirty sets, and
+// rebuilds each dirty root exactly once against the final graph, fanned
+// out across a worker pool. It returns the number of changes that had
+// an effect. For large or overlapping batches this does strictly less
+// work than applying the changes one by one (shared dirty balls rebuild
+// once instead of once per change).
+func (m *Maintainer) ApplyBatch(changes []Change) int {
+	m.dirty.ResetUnion()
+	applied := 0
+	for _, ch := range changes {
+		if m.applyOne(ch) {
+			applied++
+		}
+	}
+	if applied > 0 {
+		m.refresh()
+		m.rebuildDirty()
+	}
+	return applied
+}
 
 // AddEdge inserts {u, v} and repairs affected trees. Reports whether
 // the edge was new.
 func (m *Maintainer) AddEdge(u, v int) bool {
-	// Dirty set must be computed against the post-change graph for
-	// insertions (new vertices become reachable through the edge).
-	if !m.g.AddEdge(u, v) {
-		return false
-	}
-	m.csr = graph.NewCSR(m.g)
-	for _, root := range m.dirtySet(u, v) {
-		m.rebuildTree(int(root))
-	}
-	return true
+	return m.applySingle(Change{Kind: AddEdge, U: u, V: v})
 }
 
 // RemoveEdge deletes {u, v} and repairs affected trees. Reports whether
 // the edge existed.
 func (m *Maintainer) RemoveEdge(u, v int) bool {
-	// Dirty set against the pre-change graph for deletions (roots that
-	// could reach the edge before it vanished).
-	dirty := m.dirtySet(u, v)
-	if !m.g.RemoveEdge(u, v) {
-		return false
-	}
-	m.csr = graph.NewCSR(m.g)
-	for _, root := range dirty {
-		m.rebuildTree(int(root))
-	}
-	return true
+	return m.applySingle(Change{Kind: RemoveEdge, U: u, V: v})
 }
 
 // FailVertex removes every edge incident to x (a node crash) and
@@ -126,45 +326,19 @@ func (m *Maintainer) RemoveEdge(u, v int) bool {
 // stays in the vertex set as an isolated node, matching the paper's
 // fault model for multipath routing.
 func (m *Maintainer) FailVertex(x int) int {
-	nbrs := append([]int32(nil), m.g.Neighbors(x)...)
-	// One dirty sweep before any removal: every root that could see any
-	// incident edge.
-	dirtyAll := make(map[int32]struct{})
-	for _, v := range nbrs {
-		for _, w := range m.dirtySet(x, int(v)) {
-			dirtyAll[w] = struct{}{}
-		}
+	deg := m.g.Degree(x)
+	if !m.applySingle(Change{Kind: FailVertex, U: x}) {
+		return 0
 	}
-	for _, v := range nbrs {
-		m.g.RemoveEdge(x, int(v))
-	}
-	if len(nbrs) > 0 {
-		m.csr = graph.NewCSR(m.g)
-	}
-	for w := range dirtyAll {
-		m.rebuildTree(int(w))
-	}
-	return len(nbrs)
+	return deg
 }
 
-// dirtySet returns every root whose ball B(root, R+1) touches u or v —
-// a superset of the trees whose construction inputs changed. A tree for
-// root w reads topology within distance R of w: adjacency lists of
-// vertices in B(w, R). Edge {u,v} appears in those inputs iff
-// d(w, u) ≤ R or d(w, v) ≤ R.
-func (m *Maintainer) dirtySet(u, v int) []int32 {
-	_, _, reachedU := m.dirty.Bounded(m.g, u, m.radius)
-	set := make(map[int32]struct{}, len(reachedU))
-	for _, w := range reachedU {
-		set[w] = struct{}{}
+func (m *Maintainer) applySingle(ch Change) bool {
+	m.dirty.ResetUnion()
+	if !m.applyOne(ch) {
+		return false
 	}
-	_, _, reachedV := m.dirty.Bounded(m.g, v, m.radius)
-	for _, w := range reachedV {
-		set[w] = struct{}{}
-	}
-	out := make([]int32, 0, len(set))
-	for w := range set {
-		out = append(out, w)
-	}
-	return out
+	m.refresh()
+	m.rebuildDirty()
+	return true
 }

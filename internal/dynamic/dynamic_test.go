@@ -11,13 +11,13 @@ import (
 )
 
 func kgreedyBuilder(k int) TreeBuilder {
-	return func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.KGreedyCSR(c, s, u, k)
 	}
 }
 
 func misBuilder(r int) TreeBuilder {
-	return func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.MISCSR(c, s, u, r)
 	}
 }
@@ -205,4 +205,284 @@ func TestBadRadiusPanics(t *testing.T) {
 		}
 	}()
 	New(gen.Ring(5), 0, kgreedyBuilder(1))
+}
+
+func greedyBuilder(r, beta int) TreeBuilder {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.GreedyCSR(c, s, u, r, beta)
+	}
+}
+
+func kmisBuilder(k int) TreeBuilder {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KMISCSR(c, s, u, k)
+	}
+}
+
+// allBuilders is the canonical production builder/radius table shared
+// with the churn benchmarks.
+func allBuilders() []BuilderSpec { return Builders() }
+
+// TestFailVertexDirtySweepEqualsUnion pins the single-sweep dirty set of
+// FailVertex: B(x, R+1) must equal the per-incident-edge union
+// ∪_{v∈N(x)} (B(x,R) ∪ B(v,R)) the maintainer used to compute with
+// deg(x) separate sweeps.
+func TestFailVertexDirtySweepEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.RandomTree(40, rng)
+		for i := 0; i < 30; i++ {
+			u, v := rng.Intn(40), rng.Intn(40)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		x := rng.Intn(40)
+		if g.Degree(x) == 0 {
+			continue
+		}
+		for radius := 1; radius <= 3; radius++ {
+			ball := func(src, d int) map[int32]struct{} {
+				out := make(map[int32]struct{})
+				for w, dw := range graph.BFS(g, src) {
+					if dw != graph.Unreached && int(dw) <= d {
+						out[int32(w)] = struct{}{}
+					}
+				}
+				return out
+			}
+			union := ball(x, radius)
+			for _, v := range g.Neighbors(x) {
+				for w := range ball(int(v), radius) {
+					union[w] = struct{}{}
+				}
+			}
+			sweep := ball(x, radius+1)
+			if len(sweep) != len(union) {
+				t.Fatalf("trial %d R=%d: sweep %d vs union %d roots", trial, radius, len(sweep), len(union))
+			}
+			for w := range union {
+				if _, ok := sweep[w]; !ok {
+					t.Fatalf("trial %d R=%d: root %d in per-edge union, not in sweep", trial, radius, w)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyBatchMatchesFull drives mixed batches through every builder
+// and asserts the maintained spanner stays bit-identical to a full
+// recomputation on the final graph.
+func TestApplyBatchMatchesFull(t *testing.T) {
+	for _, bb := range allBuilders() {
+		t.Run(bb.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			g := gen.RandomTree(60, rng)
+			for i := 0; i < 120; i++ {
+				u, v := rng.Intn(60), rng.Intn(60)
+				if u != v {
+					g.AddEdge(u, v)
+				}
+			}
+			m := New(g, bb.Radius, bb.Build)
+			for round := 0; round < 6; round++ {
+				batch := make([]Change, 0, 12)
+				for i := 0; i < 12; i++ {
+					u, v := rng.Intn(60), rng.Intn(60)
+					switch {
+					case i == 7 && round%2 == 0:
+						batch = append(batch, Change{Kind: FailVertex, U: u})
+					case u != v && m.Graph().HasEdge(u, v) && rng.Intn(2) == 0:
+						batch = append(batch, Change{Kind: RemoveEdge, U: u, V: v})
+					case u != v:
+						batch = append(batch, Change{Kind: AddEdge, U: u, V: v})
+					}
+				}
+				m.ApplyBatch(batch)
+				want := fullSpanner(m.Graph(), bb.Build)
+				if !edgesEqual(m.Spanner(), want) {
+					t.Fatalf("round %d: batched spanner diverged from full recomputation", round)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyBatchRebuildsUnionOnce: a batch of overlapping changes must
+// rebuild each dirty root once, i.e. strictly fewer rebuilds than the
+// same changes applied one at a time.
+func TestApplyBatchRebuildsUnionOnce(t *testing.T) {
+	g := gen.Grid(12, 12)
+	mk := func() *Maintainer { return New(g, 1, kgreedyBuilder(1)) }
+	changes := []Change{
+		{Kind: AddEdge, U: 0, V: 25},
+		{Kind: AddEdge, U: 1, V: 26},
+		{Kind: RemoveEdge, U: 0, V: 25},
+		{Kind: AddEdge, U: 2, V: 27},
+	}
+	batched := mk()
+	base := batched.TreesRebuilt()
+	if got := batched.ApplyBatch(changes); got != len(changes) {
+		t.Fatalf("applied %d of %d", got, len(changes))
+	}
+	batchRebuilds := batched.TreesRebuilt() - base
+
+	serial := mk()
+	base = serial.TreesRebuilt()
+	for _, ch := range changes {
+		serial.ApplyBatch([]Change{ch})
+	}
+	serialRebuilds := serial.TreesRebuilt() - base
+
+	if batchRebuilds >= serialRebuilds {
+		t.Fatalf("batch rebuilt %d trees, serial %d — union did not dedupe", batchRebuilds, serialRebuilds)
+	}
+	if !edgesEqual(batched.Spanner(), serial.Spanner()) {
+		t.Fatal("batched and serial spanners diverged")
+	}
+}
+
+// TestChurnEquivalenceAllBuilders is the randomized churn-equivalence
+// driver: mixed AddEdge/RemoveEdge/FailVertex/ApplyBatch against a
+// from-scratch rebuild after every step, for all four tree builders,
+// in both delta and snapshot-ablation modes.
+func TestChurnEquivalenceAllBuilders(t *testing.T) {
+	for _, bb := range allBuilders() {
+		for _, snapshots := range []bool{false, true} {
+			name := bb.Name + "/delta"
+			if snapshots {
+				name = bb.Name + "/snapshot"
+			}
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(31))
+				g := gen.RandomTree(36, rng)
+				for i := 0; i < 60; i++ {
+					u, v := rng.Intn(36), rng.Intn(36)
+					if u != v {
+						g.AddEdge(u, v)
+					}
+				}
+				m := New(g, bb.Radius, bb.Build)
+				m.SetSnapshotPerChange(snapshots)
+				steps := 18
+				if snapshots {
+					steps = 8 // ablation arm: fewer, it pays O(n+m) per change
+				}
+				for step := 0; step < steps; step++ {
+					u, v := rng.Intn(36), rng.Intn(36)
+					switch rng.Intn(4) {
+					case 0:
+						if u != v {
+							m.AddEdge(u, v)
+						}
+					case 1:
+						if u != v {
+							m.RemoveEdge(u, v)
+						}
+					case 2:
+						m.FailVertex(u)
+					default:
+						batch := make([]Change, 0, 6)
+						for i := 0; i < 6; i++ {
+							a, b := rng.Intn(36), rng.Intn(36)
+							if a == b {
+								continue
+							}
+							kind := AddEdge
+							if m.Graph().HasEdge(a, b) && rng.Intn(2) == 0 {
+								kind = RemoveEdge
+							}
+							batch = append(batch, Change{Kind: kind, U: a, V: b})
+						}
+						m.ApplyBatch(batch)
+					}
+					want := fullSpanner(m.Graph(), bb.Build)
+					if !edgesEqual(m.Spanner(), want) {
+						t.Fatalf("step %d: spanner diverged from full recomputation", step)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMaintainerTraceDeterministic: the same change sequence must yield
+// the same TreesRebuilt trace (dirty roots rebuild in sorted order).
+func TestMaintainerTraceDeterministic(t *testing.T) {
+	run := func() []int64 {
+		g := gen.Grid(10, 10)
+		m := New(g, 1, kgreedyBuilder(1))
+		var trace []int64
+		for i := 0; i < 8; i++ {
+			m.AddEdge(i*7%100, (i*13+29)%100)
+			trace = append(trace, m.TreesRebuilt())
+		}
+		m.ApplyBatch([]Change{{Kind: FailVertex, U: 55}, {Kind: AddEdge, U: 3, V: 87}})
+		return append(trace, m.TreesRebuilt())
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestMaintainerSteadyStateAllocs guards the snapshot-free guarantee:
+// toggling one edge on a warm maintainer must not allocate at all —
+// in particular nothing proportional to n.
+func TestMaintainerSteadyStateAllocs(t *testing.T) {
+	g := gen.Grid(40, 50) // n=2000
+	m := New(g, 1, kgreedyBuilder(1))
+	m.AddEdge(0, 41) // warm the rows and buffers
+	m.RemoveEdge(0, 41)
+	m.AddEdge(0, 41)
+	m.RemoveEdge(0, 41)
+	allocs := testing.AllocsPerRun(50, func() {
+		m.AddEdge(0, 41)
+		m.RemoveEdge(0, 41)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state edge toggle allocates %.1f times per toggle pair", allocs)
+	}
+}
+
+// FuzzChurnEquivalence feeds arbitrary change scripts to the maintainer
+// and cross-checks full recomputation for every builder family.
+func FuzzChurnEquivalence(f *testing.F) {
+	f.Add([]byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x32, 0x54})
+	f.Add([]byte("churn me"))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 24 {
+			script = script[:24]
+		}
+		const n = 18
+		rng := rand.New(rand.NewSource(7))
+		g := gen.RandomTree(n, rng)
+		for i := 0; i < 20; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		for _, bb := range allBuilders() {
+			m := New(g, bb.Radius, bb.Build)
+			var batch []Change
+			for i := 0; i+1 < len(script); i += 2 {
+				a, b := int(script[i]), int(script[i+1])
+				ch := Change{Kind: Kind(a % 3), U: b % n, V: (a / 3) % n}
+				if a%4 == 3 {
+					batch = append(batch, ch)
+					continue
+				}
+				m.ApplyBatch([]Change{ch})
+			}
+			m.ApplyBatch(batch)
+			want := fullSpanner(m.Graph(), bb.Build)
+			if !edgesEqual(m.Spanner(), want) {
+				t.Fatalf("%s: fuzzed churn diverged from full recomputation", bb.Name)
+			}
+		}
+	})
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "slices"
+
 // Unreached marks vertices not reached by a traversal.
 const Unreached = int32(-1)
 
@@ -61,6 +63,14 @@ type BFSScratch struct {
 	parent  []int32
 	queue   []int32
 	touched []int32
+
+	// Epoch-stamped accumulator for unions of bounded sweeps (the dirty
+	// sets of incremental maintenance): membership is "stamp equals the
+	// current epoch", so starting a new union is O(1) and accumulation
+	// allocates nothing once the buffers are warm.
+	unionMark  []uint32
+	unionEpoch uint32
+	unionList  []int32
 }
 
 // NewBFSScratch returns scratch space for graphs with up to n vertices.
@@ -82,38 +92,14 @@ func NewBFSScratch(n int) *BFSScratch {
 // parent are full-length slices with Unreached/-1 outside the ball;
 // visited lists the reached vertices in BFS order (src first).
 func (s *BFSScratch) Bounded(g *Graph, src, maxDist int) (dist, parent, visited []int32) {
-	// Reset only the vertices touched by the previous run.
-	for _, v := range s.touched {
-		s.dist[v] = Unreached
-		s.parent[v] = -1
-	}
-	s.touched = s.touched[:0]
-	s.queue = s.queue[:0]
-
-	s.dist[src] = 0
-	s.touched = append(s.touched, int32(src))
-	s.queue = append(s.queue, int32(src))
-	for head := 0; head < len(s.queue); head++ {
-		u := s.queue[head]
-		if int(s.dist[u]) >= maxDist {
-			continue
-		}
-		for _, v := range g.adj[u] {
-			if s.dist[v] == Unreached {
-				s.dist[v] = s.dist[u] + 1
-				s.parent[v] = u
-				s.touched = append(s.touched, v)
-				s.queue = append(s.queue, v)
-			}
-		}
-	}
-	return s.dist, s.parent, s.queue
+	return s.BoundedView(g, src, maxDist)
 }
 
-// BoundedCSR is Bounded over an immutable CSR snapshot instead of the
-// mutable adjacency-list graph — the traversal the production spanner
-// pipeline runs once per root.
-func (s *BFSScratch) BoundedCSR(c *CSR, src, maxDist int) (dist, parent, visited []int32) {
+// BoundedView is Bounded over any View — the mutable graph, the
+// immutable CSR snapshots of the batch pipeline and the patched
+// CSRDelta of the incremental maintainer all run this one traversal.
+func (s *BFSScratch) BoundedView(c View, src, maxDist int) (dist, parent, visited []int32) {
+	// Reset only the vertices touched by the previous run.
 	for _, v := range s.touched {
 		s.dist[v] = Unreached
 		s.parent[v] = -1
@@ -139,6 +125,44 @@ func (s *BFSScratch) BoundedCSR(c *CSR, src, maxDist int) (dist, parent, visited
 		}
 	}
 	return s.dist, s.parent, s.queue
+}
+
+// ResetUnion starts a new (empty) accumulated union of bounded sweeps.
+func (s *BFSScratch) ResetUnion() {
+	if s.unionMark == nil {
+		s.unionMark = make([]uint32, len(s.dist))
+	}
+	// Epoch wrap: re-zero at a boundary where no live epochs exist (the
+	// same scheme as domtree.Scratch).
+	if s.unionEpoch >= 1<<31 {
+		for i := range s.unionMark {
+			s.unionMark[i] = 0
+		}
+		s.unionEpoch = 0
+	}
+	s.unionEpoch++
+	s.unionList = s.unionList[:0]
+}
+
+// UnionBounded runs a bounded BFS from src over v and adds every reached
+// vertex to the union accumulated since the last ResetUnion.
+func (s *BFSScratch) UnionBounded(v View, src, maxDist int) {
+	_, _, visited := s.BoundedView(v, src, maxDist)
+	e := s.unionEpoch
+	for _, w := range visited {
+		if s.unionMark[w] != e {
+			s.unionMark[w] = e
+			s.unionList = append(s.unionList, w)
+		}
+	}
+}
+
+// UnionSorted returns the accumulated union sorted ascending — a
+// deterministic order regardless of how the sweeps interleaved. The
+// slice is scratch-owned and valid until the next ResetUnion.
+func (s *BFSScratch) UnionSorted() []int32 {
+	slices.Sort(s.unionList)
+	return s.unionList
 }
 
 // Eccentricity returns the maximum finite distance from src, or -1 if

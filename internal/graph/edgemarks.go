@@ -78,6 +78,25 @@ func (m *EdgeMarks) Union(o *EdgeMarks) {
 // Len returns the number of marked edges.
 func (m *EdgeMarks) Len() int { return m.count }
 
+// Matches reports whether the marked edges are exactly the edges of s.
+// Equal counts plus marked ⊆ s implies set equality, so one pass over
+// the marks suffices; this is the real coherence check behind
+// spanner.Result.Graph (a bare length comparison would accept an
+// equal-sized but different edge set).
+func (m *EdgeMarks) Matches(s *EdgeSet) bool {
+	if m.count != s.Len() {
+		return false
+	}
+	for u := 0; u < m.c.N(); u++ {
+		for i := m.c.offsets[u]; i < m.c.offsets[u+1]; i++ {
+			if m.mark[i] && int32(u) < m.c.targets[i] && !s.Has(u, int(m.c.targets[i])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // each visits the marked edges as (u, v) pairs with u < v, in
 // lexicographic order.
 func (m *EdgeMarks) each(f func(u, v int32)) {
@@ -114,7 +133,7 @@ func (m *EdgeMarks) Graph() *Graph {
 	adj := make([][]int32, n)
 	off := 0
 	for u := 0; u < n; u++ {
-		adj[u] = flat[off:off : off+int(deg[u])]
+		adj[u] = flat[off : off : off+int(deg[u])]
 		off += int(deg[u])
 	}
 	m.each(func(u, v int32) {

@@ -1,0 +1,34 @@
+package graph
+
+// View is the read interface the spanner construction pipeline consumes:
+// sorted adjacency over vertices 0..N()-1. It is satisfied by the three
+// graph representations of this package —
+//
+//   - *Graph: the mutable adjacency-list form;
+//   - *CSR: an immutable contiguous snapshot (the batch-construction
+//     fast path);
+//   - *CSRDelta: a CSR patched in place under edge churn (the
+//     incremental-maintenance fast path; no O(n+m) re-snapshot per
+//     change).
+//
+// The domtree builders are written against View, so one builder code
+// path serves both the static and the dynamic pipelines. Neighbor
+// slices returned through a View follow the same contract everywhere:
+// sorted ascending, shared with the representation, not to be modified,
+// and valid only until the underlying representation mutates.
+type View interface {
+	// N returns the vertex count.
+	N() int
+	// M returns the edge count.
+	M() int
+	// Degree returns the degree of u.
+	Degree(u int) int
+	// Neighbors returns u's sorted adjacency slice (shared, read-only).
+	Neighbors(u int) []int32
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*CSR)(nil)
+	_ View = (*CSRDelta)(nil)
+)

@@ -43,12 +43,18 @@ func (r *Result) Edges() int { return r.H.Len() }
 // Graph materializes the spanner as a Graph — directly from the CSR
 // edge marks when the production pipeline built it (exactly-sized
 // sorted adjacency, no per-insert work), via the edge set otherwise.
-// The marks are used only while they agree with H in size, so code
-// that mutates the exported H directly (instead of Result.Union)
-// still materializes correctly through the edge-set fallback.
+// The marks are used only while they hold exactly the edges of H, so
+// code that mutates the exported H directly (instead of Result.Union)
+// still materializes correctly through the edge-set fallback — a bare
+// size comparison is not enough, since an edit can swap one edge for
+// another without changing H's length. Once the marks diverge they are
+// dropped for good: an H edge outside the snapshot can never re-agree.
 func (r *Result) Graph() *graph.Graph {
-	if r.marks != nil && r.marks.Len() == r.H.Len() {
-		return r.marks.Graph()
+	if r.marks != nil {
+		if r.marks.Matches(r.H) {
+			return r.marks.Graph()
+		}
+		r.marks = nil
 	}
 	return r.H.Graph()
 }
@@ -85,7 +91,7 @@ func Exact(g *graph.Graph) *Result { return KConnecting(g, 1) }
 // KConnecting returns a k-connecting (1, 0)-remote-spanner as the union
 // of Algorithm 4 greedy k-cover trees over all roots (Th. 2).
 func KConnecting(g *graph.Graph, k int) *Result {
-	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	res := buildParallel(g, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.KGreedyCSR(c, s, u, k)
 	})
 	res.R = 2
@@ -100,7 +106,7 @@ func TwoConnecting(g *graph.Graph) *Result { return KMIS(g, 2) }
 // trees over all roots. For k = 2 this is the paper's Th. 3
 // construction.
 func KMIS(g *graph.Graph, k int) *Result {
-	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	res := buildParallel(g, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.KMISCSR(c, s, u, k)
 	})
 	res.R = 2
@@ -113,7 +119,7 @@ func KMIS(g *graph.Graph, k int) *Result {
 // doubling metric of dimension p it has O(ε^{−(p+1)} n) edges.
 func LowStretch(g *graph.Graph, eps float64) *Result {
 	r, epsEff := RadiusFor(eps)
-	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	res := buildParallel(g, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.MISCSR(c, s, u, r)
 	})
 	res.R = r
@@ -127,7 +133,7 @@ func LowStretch(g *graph.Graph, eps float64) *Result {
 // log Δ factor in size).
 func LowStretchGreedy(g *graph.Graph, eps float64) *Result {
 	r, epsEff := RadiusFor(eps)
-	res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+	res := buildParallel(g, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 		return domtree.GreedyCSR(c, s, u, r, 1)
 	})
 	res.R = r

@@ -97,7 +97,7 @@ func TestQuickLowStretchLadder(t *testing.T) {
 	f := func(seed int64) bool {
 		g := quickGraph(seed, 24, 46)
 		for _, r := range []int{2, 3, 4} {
-			res := buildParallel(g, func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree {
+			res := buildParallel(g, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
 				return domtree.MISCSR(c, s, u, r)
 			})
 			if Check(g, res.H.Graph(), LowStretchOf(r)) != nil {

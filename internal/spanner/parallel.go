@@ -9,10 +9,12 @@ import (
 	"remspan/internal/graph"
 )
 
-// CSRBuilder builds the dominating tree for one root on an immutable
-// CSR snapshot, using (and owning until the next call) the scratch's
-// pooled tree. All production constructions are unions of these.
-type CSRBuilder func(c *graph.CSR, s *domtree.Scratch, u int) *graph.Tree
+// CSRBuilder builds the dominating tree for one root on a graph.View
+// (an immutable CSR snapshot here; the incremental maintainer passes a
+// patched CSRDelta to the same builders), using — and owning until the
+// next call — the scratch's pooled tree. All production constructions
+// are unions of these.
+type CSRBuilder func(c graph.View, s *domtree.Scratch, u int) *graph.Tree
 
 // buildParallel snapshots g once and constructs one dominating tree per
 // root using a worker pool (roots are independent — the paper's

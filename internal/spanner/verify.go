@@ -92,7 +92,7 @@ func Check(g, h *graph.Graph, st Stretch) *Violation {
 				}
 				// Touched-only reset keeps fragmented graphs O(Σ|component|),
 				// not O(n) per root.
-				dg, _, reached := gs.BoundedCSR(cg, u, n)
+				dg, _, reached := gs.BoundedView(cg, u, n)
 				dh := vs.BFSCSR(cg, ch, u)
 				for _, v := range reached {
 					if dg[v] < 2 {
@@ -134,7 +134,7 @@ func MeasureProfile(g, h *graph.Graph) Profile {
 	var p Profile
 	sum := 0.0
 	for u := 0; u < n; u++ {
-		dg, _, reached := gs.BoundedCSR(cg, u, n)
+		dg, _, reached := gs.BoundedView(cg, u, n)
 		dh := vs.BFSCSR(cg, ch, u)
 		for _, v := range reached {
 			if dg[v] < 2 || dh[v] == graph.Unreached {

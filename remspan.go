@@ -204,8 +204,14 @@ func TwoConnecting(g *Graph) *Spanner {
 
 // LowStretch returns a (1+ε', 1−2ε')-remote-spanner with
 // ε' = 1/⌈1/ε⌉ ≤ ε (Th. 1), with O(ε^{−(p+1)}·n) edges on unit-ball
-// graphs of doubling dimension p. Requires 0 < eps ≤ 1.
-func LowStretch(g *Graph, eps float64) *Spanner {
+// graphs of doubling dimension p. An eps outside (0, 1] is an error —
+// the same contract RunDistributed applies to AlgoLowStretch (the
+// internal builders keep panicking on invalid radii, which after this
+// validation can only mean package-internal misuse).
+func LowStretch(g *Graph, eps float64) (*Spanner, error) {
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("remspan: need 0 < eps <= 1, got %v", eps)
+	}
 	res := spanner.LowStretch(g.raw(), eps)
 	return &Spanner{
 		H:           wrap(res.Graph()),
@@ -214,7 +220,7 @@ func LowStretch(g *Graph, eps float64) *Spanner {
 		Kind:        fmt.Sprintf("low-stretch r=%d", res.R),
 		TreeEdges:   res.TreeEdges,
 		Radius:      res.R,
-	}
+	}, nil
 }
 
 // radiusFor resolves ε to the dominating-tree radius r = ⌈1/ε⌉+1 and

@@ -79,7 +79,10 @@ func TestTwoConnectingFacade(t *testing.T) {
 
 func TestLowStretchFacade(t *testing.T) {
 	g := RandomUDG(250, 4, 4)
-	s := LowStretch(g, 0.5)
+	s, err := LowStretch(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Radius != 3 {
 		t.Fatalf("radius=%d", s.Radius)
 	}
@@ -199,7 +202,11 @@ func TestRunDistributedLowStretch(t *testing.T) {
 	if res.Rounds != 7 { // r=3 → 2r+1
 		t.Fatalf("rounds=%d", res.Rounds)
 	}
-	if err := Verify(g, res.H, LowStretch(g, 0.5).Guarantee); err != nil {
+	low, err := LowStretch(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, res.H, low.Guarantee); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -276,5 +283,28 @@ func TestDistanceOracleFacade(t *testing.T) {
 	}
 	if o.StorageWords() >= g.N()*g.N() {
 		t.Fatal("no storage savings")
+	}
+}
+
+// The facade must reject an invalid eps with an error — the same
+// contract as RunDistributed — rather than panicking like the internal
+// builders do.
+func TestLowStretchInvalidEpsErrors(t *testing.T) {
+	g := Ring(8)
+	for _, eps := range []float64{0, -0.25, 1.5} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("LowStretch panicked on eps=%v: %v", eps, r)
+				}
+			}()
+			s, err := LowStretch(g, eps)
+			if err == nil || s != nil {
+				t.Fatalf("eps=%v accepted", eps)
+			}
+		}()
+		if _, derr := RunDistributed(g, AlgoLowStretch, 0, eps); derr == nil {
+			t.Fatalf("RunDistributed accepted eps=%v", eps)
+		}
 	}
 }
