@@ -417,6 +417,29 @@ func BenchmarkAblationCSR(b *testing.B) {
 	})
 }
 
+// All-pairs verification: scalar BFS pair per vertex vs the 64-source
+// word-parallel bit-packed engine (deadline-lockstep judge).
+func BenchmarkAblationBitBFS(b *testing.B) {
+	gg := remspan.RandomUDG(1500, math.Sqrt(math.Pi*1500/16), 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	h := spanner.Exact(g).Graph()
+	st := spanner.NewStretch(1, 0)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if v := spanner.CheckScalar(g, h, st); v != nil {
+				b.Fatal(v)
+			}
+		}
+	})
+	b.Run("bit-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if v := spanner.Check(g, h, st); v != nil {
+				b.Fatal(v)
+			}
+		}
+	})
+}
+
 // UDG construction: grid buckets vs quadratic brute force.
 func BenchmarkAblationUDGGrid(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -14,7 +14,13 @@
 // "single" (one change per repair), "batch" (ApplyBatch with unioned
 // dirty sets) and "snapshot" (the pre-delta ablation baseline that
 // re-snapshots the CSR per change). Each record carries allocations and
-// trees rebuilt per change; "context" pins the workload parameters.
+// trees rebuilt per change; "batch" context pins the workload parameters.
+//
+// The verify suite (-suite verify → BENCH_verify.json) measures
+// all-pairs verification — spanner.Check, spanner.MeasureProfile and
+// oracle.Validate — on the scalar reference engine and the
+// word-parallel 64-source bit-packed engine, at several graph sizes,
+// recording the bit-parallel speedup per operation.
 package main
 
 import (
@@ -31,7 +37,10 @@ import (
 
 	"remspan"
 	"remspan/internal/dynamic"
+	"remspan/internal/gen"
 	"remspan/internal/graph"
+	"remspan/internal/oracle"
+	"remspan/internal/spanner"
 )
 
 func mustSpanner(s *remspan.Spanner, err error) *remspan.Spanner {
@@ -92,13 +101,40 @@ type churnReport struct {
 	Benchmarks []churnRecord `json:"benchmarks"`
 }
 
+type verifyRecord struct {
+	Workload        string  `json:"workload"`
+	Op              string  `json:"op"`
+	Engine          string  `json:"engine"`
+	N               int     `json:"n"`
+	GraphEdges      int     `json:"graph_edges"`
+	SpannerEdges    int     `json:"spanner_edges"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	Iterations      int     `json:"iterations"`
+}
+
+type verifyReport struct {
+	Context struct {
+		Sizes      []int  `json:"sizes"`
+		Degree     int    `json:"target_degree"`
+		Seed       int64  `json:"seed"`
+		GoVersion  string `json:"go_version"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"context"`
+	Benchmarks []verifyRecord `json:"benchmarks"`
+}
+
 func main() {
-	suite := flag.String("suite", "construct", "benchmark suite: construct | churn")
+	suite := flag.String("suite", "construct", "benchmark suite: construct | churn | verify")
 	n := flag.Int("n", 400, "construct suite: graph size (vertices)")
 	side := flag.Float64("side", 4, "construct suite: UDG square side (the historical dense-graph workload; the real mean degree lands near n/5 and is reported as avg_degree)")
 	churnDeg := flag.Int("churn-deg", 8, "churn suite: target average UDG degree (keep > ~4.5, the percolation threshold)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	sizes := flag.String("churn-sizes", "2000,10000,50000", "churn suite: comma-separated graph sizes")
+	vsizes := flag.String("verify-sizes", "2000,10000,50000", "verify suite: comma-separated graph sizes")
+	verifyDeg := flag.Int("verify-deg", 24, "verify suite: target average UDG degree (the ER workload is pinned at table 1's mean degree 16)")
 	batch := flag.Int("batch", 64, "churn suite: ApplyBatch size for the batch mode")
 	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
@@ -112,6 +148,8 @@ func main() {
 		data = runConstruct(*n, *side, *seed)
 	case "churn":
 		data = runChurn(parseSizes(*sizes), *churnDeg, *seed, *batch)
+	case "verify":
+		data = runVerify(parseSizes(*vsizes), *verifyDeg, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(1)
@@ -368,4 +406,94 @@ func measureChurn(g *graph.Graph, build dynamic.TreeBuilder, radius int, pairs [
 		rec.TreesRebuiltPerChange = float64(rebuilt) / float64(changes)
 	}
 	return rec
+}
+
+// runVerify benchmarks all-pairs verification on the two §4
+// reproduction families — Erdős–Rényi at table 1's mean degree 16 and
+// UDGs at the target degree — scaled to production sizes: the (1,0)
+// exact remote-spanner is checked, profiled and oracle-validated by
+// the scalar reference engine and by the word-parallel 64-source
+// bit-packed engine.
+func runVerify(sizes []int, deg int, seed int64) []byte {
+	var rep verifyReport
+	rep.Context.Sizes = sizes
+	rep.Context.Degree = deg
+	rep.Context.Seed = seed
+	rep.Context.GoVersion = runtime.Version()
+	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	for _, n := range sizes {
+		workloads := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"er16", func() *graph.Graph {
+				eg := gen.ErdosRenyi(n, 16/float64(n), rand.New(rand.NewSource(seed)))
+				return eg
+			}()},
+			{"udg", func() *graph.Graph {
+				side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+				gg := remspan.RandomUDG(n, side, seed)
+				return graph.FromEdges(gg.N(), gg.Edges())
+			}()},
+		}
+		for _, wl := range workloads {
+			runVerifyWorkload(&rep, wl.name, wl.g)
+		}
+	}
+	return marshal(&rep)
+}
+
+func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph) {
+	h := spanner.Exact(g).Graph()
+	st := spanner.NewStretch(1, 0)
+	o := oracle.New(g, h, st)
+
+	type arm struct {
+		op, engine string
+		run        func()
+	}
+	arms := []arm{
+		{"check", "scalar", func() {
+			if v := spanner.CheckScalar(g, h, st); v != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: unexpected violation:", v)
+				os.Exit(1)
+			}
+		}},
+		{"check", "bitparallel", func() {
+			if v := spanner.Check(g, h, st); v != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: unexpected violation:", v)
+				os.Exit(1)
+			}
+		}},
+		{"profile", "scalar", func() { spanner.MeasureProfileScalar(g, h) }},
+		{"profile", "bitparallel", func() { spanner.MeasureProfile(g, h) }},
+		{"validate", "scalar", func() { o.ValidateScalar() }},
+		{"validate", "bitparallel", func() { o.Validate() }},
+	}
+	scalarNs := map[string]float64{}
+	for _, a := range arms {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.run()
+			}
+		})
+		rec := verifyRecord{
+			Workload: workload, Op: a.op, Engine: a.engine,
+			N: g.N(), GraphEdges: g.M(), SpannerEdges: h.M(),
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		}
+		if a.engine == "scalar" {
+			scalarNs[a.op] = rec.NsPerOp
+		} else if s := scalarNs[a.op]; s > 0 {
+			rec.SpeedupVsScalar = s / rec.NsPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		fmt.Fprintf(os.Stderr, "verify %-5s %-8s n=%-6d %-12s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
+			workload, a.op, g.N(), a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
+	}
 }

@@ -1,0 +1,350 @@
+package graph
+
+import "math/bits"
+
+// BitScratch is a word-parallel batched BFS engine: up to 64 sources
+// traverse the graph in one sweep, with source i owning bit i of a
+// per-vertex uint64 mask. One mask-OR per edge replaces 64 scalar
+// queue pushes, so an all-pairs verification pass costs O(m·n/64)
+// word operations instead of O(m·n) cache-missing scalar steps.
+//
+// A batch proceeds level-synchronously: each vertex carries a visited
+// mask (bits that have ever reached it), a frontier mask (bits whose
+// wavefront sits on it at the current level) and a next mask (bits
+// arriving for the following level). A vertex's distance from source i
+// is the level at which bit i first set — recorded into the 64-entry
+// row dist[v·64 .. v·64+63] the moment the bit turns on. Rows are only
+// meaningful under their visited mask, so they never need clearing.
+//
+// The three masks are interleaved into one 32-byte-aligned stripe per
+// vertex (words[4v..4v+2], one word of padding) so the random access
+// an edge visit performs lands on a single cache line; the dist rows
+// stay separate — they are written once per (source, vertex) pair and
+// read back sequentially by the verification scans.
+//
+// All state resets through touched lists (the same discipline as
+// domtree.Scratch and BFSScratch): Begin re-zeroes only the vertices
+// the previous batch reached, and every slice is pre-sized to n, so a
+// warm scratch runs an arbitrary number of batches with zero
+// allocations (pinned by TestBitSweepZeroAlloc).
+//
+// A BitScratch is not safe for concurrent use; verification pools give
+// each worker its own.
+type BitScratch struct {
+	stripes []stripe // per-vertex mask stripe (one cache-line half)
+	dist    []int32  // dist[v<<6|i] = level bit i first reached v
+
+	cur, nxt []int32 // frontier vertex lists (current / next level)
+	arrivals []int32 // vertices with next != 0 during one expansion
+	touched  []int32 // vertices with visited != 0 this batch
+
+	// visit, when set (SweepSourcesVisit), streams first-visit events
+	// instead of recording distance rows: all-pairs consumers that need
+	// each (source, vertex, distance) only once skip the O(n·64)
+	// row-write traffic entirely.
+	visit func(v int32, newBits uint64, level int32)
+}
+
+// stripe is one vertex's mask state, 32-byte sized so a random access
+// during edge expansion touches exactly one cache line and a single
+// bounds check covers all three words.
+type stripe struct {
+	vis  uint64 // sources that have ever reached the vertex
+	next uint64 // sources arriving for the following level
+	fro  uint64 // sources whose wavefront sits here this level
+	_    uint64 // pad to 32 bytes
+}
+
+// NewBitScratch returns a batch-BFS scratch for graphs with up to n
+// vertices. Footprint is O(64·n): one mask stripe plus a 64-entry
+// distance row per vertex — never O(n²) however many batches run.
+func NewBitScratch(n int) *BitScratch {
+	s := NewBitScratchMasks(n)
+	s.dist = make([]int32, n*64)
+	return s
+}
+
+// NewBitScratchMasks returns a masks-only scratch: reachability masks
+// and streamed first-visit events, but no distance rows (Row/Dist must
+// not be used). Footprint is O(n) words — the right engine for judge
+// passes that test deadlines instead of reading distances back.
+func NewBitScratchMasks(n int) *BitScratch {
+	return &BitScratch{
+		stripes:  make([]stripe, n),
+		cur:      make([]int32, 0, n),
+		nxt:      make([]int32, 0, n),
+		arrivals: make([]int32, 0, n),
+		touched:  make([]int32, 0, n),
+	}
+}
+
+// Begin starts a new batch, clearing only what the previous batch
+// touched. (next and frontier are self-cleaning over a completed
+// sweep, but seeded batches may be abandoned before sweeping, so the
+// whole stripe is re-zeroed here.)
+func (s *BitScratch) Begin() {
+	for _, v := range s.touched {
+		s.stripes[v] = stripe{}
+	}
+	s.touched = s.touched[:0]
+	s.cur = s.cur[:0]
+}
+
+// Seed marks source bit i as having reached v at distance d without
+// placing v on the frontier: bit i will not expand from v. First seed
+// of a (bit, vertex) pair wins; later seeds are ignored.
+func (s *BitScratch) Seed(i uint, v int, d int32) {
+	b := uint64(1) << i
+	st := &s.stripes[v]
+	if st.vis&b != 0 {
+		return
+	}
+	if st.vis == 0 {
+		s.touched = append(s.touched, int32(v))
+	}
+	st.vis |= b
+	if s.dist != nil {
+		s.dist[v<<6|int(i)] = d
+	}
+}
+
+// SeedFrontier seeds bit i at v with distance d and places it on the
+// frontier, so the next Sweep expands it.
+func (s *BitScratch) SeedFrontier(i uint, v int, d int32) {
+	b := uint64(1) << i
+	st := &s.stripes[v]
+	if st.vis&b != 0 {
+		return
+	}
+	if st.vis == 0 {
+		s.touched = append(s.touched, int32(v))
+	}
+	st.vis |= b
+	if s.dist != nil {
+		s.dist[v<<6|int(i)] = d
+	}
+	if st.fro == 0 {
+		s.cur = append(s.cur, int32(v))
+	}
+	st.fro |= b
+}
+
+// Sweep runs the seeded batch to exhaustion over view: vertices first
+// reached in the initial expansion are recorded at level, the next
+// wave at level+1, and so on.
+func (s *BitScratch) Sweep(view View, level int32) {
+	for s.Step(view, level) {
+		level++
+	}
+}
+
+// Step expands the current frontier one level over view, collecting
+// arrivals at the given level, and returns whether a frontier remains.
+// Callers that interleave two traversals (the deadline-lockstep judge
+// of spanner verification) drive Step directly; Sweep is the
+// run-to-exhaustion loop. The *CSR fast path avoids an interface call
+// per frontier vertex; any other View traverses generically.
+func (s *BitScratch) Step(view View, level int32) bool {
+	if len(s.cur) == 0 {
+		return false
+	}
+	stripes := s.stripes
+	arr := s.arrivals[:0]
+	if c, ok := view.(*CSR); ok {
+		for _, u := range s.cur {
+			f := stripes[u].fro
+			stripes[u].fro = 0
+			for _, v := range c.targets[c.offsets[u]:c.offsets[u+1]] {
+				st := &stripes[v]
+				old := st.next
+				st.next = old | f
+				if old == 0 {
+					arr = append(arr, v)
+				}
+			}
+		}
+	} else {
+		for _, u := range s.cur {
+			f := stripes[u].fro
+			stripes[u].fro = 0
+			for _, v := range view.Neighbors(int(u)) {
+				st := &stripes[v]
+				old := st.next
+				st.next = old | f
+				if old == 0 {
+					arr = append(arr, v)
+				}
+			}
+		}
+	}
+	s.arrivals = arr
+	s.nxt = s.collect(arr, s.nxt[:0], level)
+	s.cur, s.nxt = s.nxt, s.cur
+	return len(s.cur) > 0
+}
+
+// SetVisit installs (nil clears) the streaming first-visit callback
+// consumed by Step/Sweep: with a callback no distance rows are
+// written; without one, a masks-only scratch records reachability
+// alone and a full scratch records rows.
+func (s *BitScratch) SetVisit(fn func(v int32, newBits uint64, level int32)) { s.visit = fn }
+
+// collect drains the arrival masks into the next frontier, recording
+// first-visit distances for newly set bits (or streaming them to the
+// visit callback when one is installed).
+func (s *BitScratch) collect(arrivals, nxt []int32, level int32) []int32 {
+	stripes := s.stripes
+	for _, v := range arrivals {
+		st := &stripes[v]
+		newBits := st.next &^ st.vis
+		st.next = 0
+		if newBits == 0 {
+			continue
+		}
+		if st.vis == 0 {
+			s.touched = append(s.touched, v)
+		}
+		st.vis |= newBits
+		st.fro = newBits
+		if s.visit != nil {
+			s.visit(v, newBits, level)
+		} else if s.dist != nil {
+			base := int(v) << 6
+			for b := newBits; b != 0; b &= b - 1 {
+				s.dist[base+bits.TrailingZeros64(b)] = level
+			}
+		}
+		nxt = append(nxt, v)
+	}
+	return nxt
+}
+
+// SweepFrom runs a plain batched BFS over view from the count sources
+// base..base+count-1, bit i owning source base+i. count must be in
+// [1, 64].
+func (s *BitScratch) SweepFrom(view View, base, count int) {
+	s.Begin()
+	for i := 0; i < count; i++ {
+		s.SeedFrontier(uint(i), base+i, 0)
+	}
+	s.Sweep(view, 1)
+}
+
+// SweepSources runs a plain batched BFS over view from the given
+// sources (1 ≤ len ≤ 64), bit i owning sources[i].
+func (s *BitScratch) SweepSources(view View, sources []int32) {
+	s.Begin()
+	for i, u := range sources {
+		s.SeedFrontier(uint(i), int(u), 0)
+	}
+	s.Sweep(view, 1)
+}
+
+// SweepSourcesVisit is SweepSources in streaming form: visit is called
+// once per (vertex, new source bits, distance) first-visit event, in
+// level order, and no distance rows are written — after the sweep only
+// Visited/Reached are meaningful, not Row/Dist. The sources themselves
+// (distance 0) are not reported. The callback runs inside the sweep's
+// collect phase: it must not call back into this BitScratch.
+func (s *BitScratch) SweepSourcesVisit(view View, sources []int32, visit func(v int32, newBits uint64, level int32)) {
+	s.Begin()
+	for i, u := range sources {
+		s.SeedFrontier(uint(i), int(u), 0)
+	}
+	s.SetVisit(visit)
+	s.Sweep(view, 1)
+	s.SetVisit(nil)
+}
+
+// Visited returns the mask of sources that reached v; bit i's distance
+// is valid iff its bit is set.
+func (s *BitScratch) Visited(v int) uint64 { return s.stripes[v].vis }
+
+// Row returns v's 64-entry distance row, indexed by source bit and
+// valid only under Visited(v). Shared scratch — read-only, valid until
+// the next Begin.
+func (s *BitScratch) Row(v int) []int32 { return s.dist[v<<6 : v<<6+64] }
+
+// Dist returns the distance from source bit i to v, or Unreached.
+func (s *BitScratch) Dist(i uint, v int) int32 {
+	if s.stripes[v].vis&(uint64(1)<<i) == 0 {
+		return Unreached
+	}
+	return s.dist[v<<6|int(i)]
+}
+
+// Reached lists the vertices reached by at least one source of the
+// current batch, in discovery order. Shared scratch — valid until the
+// next Begin, and safe to reorder in place (Begin only needs the set).
+func (s *BitScratch) Reached() []int32 { return s.touched }
+
+// ballBudget caps the vertices one clustering ball may traverse while
+// hunting for unassigned sources, so pathological inputs (a nearly
+// consumed region that must be re-walked) cannot push BatchOrder past
+// O(budget · n/64): the ball simply closes early and the batch ships
+// with fewer than 64 sources, which the engine accepts.
+const ballBudget = 4096
+
+// BatchOrder partitions the vertices into batches of up to 64 mutually
+// close sources for the word-parallel engine: order is a permutation
+// of 0..n-1 and starts[b]:starts[b+1] slices it into batches. Batch
+// cost in a bit-packed sweep is O(edges × distinct wavefront levels) —
+// a vertex re-expands once per distinct source distance — so 64
+// scattered sources (anything up to graph diameter apart) can cost
+// 64× more than 64 sources drawn from one small BFS ball, whose
+// wavefronts coincide to within the ball's diameter. Balls grow from
+// the smallest unassigned vertex, collecting unassigned vertices in
+// BFS discovery order; exhausted components spill into the same batch
+// so fragmented graphs still fill words. Deterministic: same view,
+// same partition.
+func BatchOrder(view View) (order, starts []int32) {
+	n := view.N()
+	order = make([]int32, 0, n)
+	starts = append(make([]int32, 0, n/64+2), 0)
+	assigned := make([]bool, n)
+	mark := make([]uint32, n)
+	var epoch uint32
+	queue := make([]int32, 0, n)
+	seed := 0
+	for len(order) < n {
+		filled := 0
+		for filled < 64 && seed < n {
+			for seed < n && assigned[seed] {
+				seed++
+			}
+			if seed >= n {
+				break
+			}
+			// One ball: BFS from seed, assigning unassigned vertices as
+			// they are discovered.
+			epoch++
+			queue = append(queue[:0], int32(seed))
+			mark[seed] = epoch
+			budget := ballBudget
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				if !assigned[u] {
+					assigned[u] = true
+					order = append(order, u)
+					if filled++; filled == 64 {
+						break
+					}
+				}
+				if budget--; budget <= 0 {
+					break
+				}
+				for _, w := range view.Neighbors(int(u)) {
+					if mark[w] != epoch {
+						mark[w] = epoch
+						queue = append(queue, w)
+					}
+				}
+			}
+			if filled < 64 && budget <= 0 {
+				break // ship a short batch rather than re-walk the region
+			}
+		}
+		starts = append(starts, int32(len(order)))
+	}
+	return order, starts
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitFamilies builds the generator families the batch engine is pinned
+// against, without importing gen (which would cycle): path, ring, grid,
+// star, a random sparse graph, and disconnected variants with isolated
+// vertices.
+func bitFamilies() map[string]*Graph {
+	path := New(9)
+	for i := 0; i < 8; i++ {
+		path.AddEdge(i, i+1)
+	}
+	ring := New(70)
+	for i := 0; i < 70; i++ {
+		ring.AddEdge(i, (i+1)%70)
+	}
+	grid := New(100)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			if x+1 < 10 {
+				grid.AddEdge(y*10+x, y*10+x+1)
+			}
+			if y+1 < 10 {
+				grid.AddEdge(y*10+x, (y+1)*10+x)
+			}
+		}
+	}
+	star := New(130)
+	for i := 1; i < 130; i++ {
+		star.AddEdge(0, i)
+	}
+	rng := rand.New(rand.NewSource(11))
+	er := New(150)
+	for i := 0; i < 380; i++ {
+		u, v := rng.Intn(150), rng.Intn(150)
+		if u != v {
+			er.AddEdge(u, v)
+		}
+	}
+	// Two components plus isolated vertices 20..24.
+	disc := New(25)
+	for i := 0; i < 9; i++ {
+		disc.AddEdge(i, i+1)
+	}
+	for i := 10; i < 20; i++ {
+		disc.AddEdge(10+(i-10+1)%10, i)
+	}
+	return map[string]*Graph{
+		"path": path, "ring": ring, "grid": grid, "star": star,
+		"er": er, "disconnected": disc,
+	}
+}
+
+func TestBitBFSMatchesScalarOnFamilies(t *testing.T) {
+	for name, g := range bitFamilies() {
+		n := g.N()
+		c := NewCSR(g)
+		s := NewBitScratch(n)
+		for base := 0; base < n; base += 64 {
+			count := 64
+			if base+count > n {
+				count = n - base
+			}
+			s.SweepFrom(c, base, count)
+			for i := 0; i < count; i++ {
+				want := BFS(g, base+i)
+				for v := 0; v < n; v++ {
+					if got := s.Dist(uint(i), v); got != want[v] {
+						t.Fatalf("%s: dist(%d,%d) = %d, want %d", name, base+i, v, got, want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitBFSReusedScratchAcrossGraphs(t *testing.T) {
+	// One scratch serves many batches over different graphs — stale
+	// state from a bigger, denser batch must not leak into a sparser one.
+	fams := bitFamilies()
+	s := NewBitScratch(150)
+	for _, name := range []string{"er", "disconnected", "path", "star"} {
+		g := fams[name]
+		c := NewCSR(g)
+		s.SweepFrom(c, 0, min64(g.N()))
+		for i := 0; i < min64(g.N()); i++ {
+			ref := BFS(g, i)
+			for v := 0; v < g.N(); v++ {
+				if got := s.Dist(uint(i), v); got != ref[v] {
+					t.Fatalf("%s after reuse: dist(%d,%d) = %d, want %d", name, i, v, got, ref[v])
+				}
+			}
+		}
+	}
+}
+
+func min64(n int) int {
+	if n < 64 {
+		return n
+	}
+	return 64
+}
+
+func TestBitBFSGenericViewMatchesCSR(t *testing.T) {
+	g := bitFamilies()["grid"]
+	c := NewCSR(g)
+	sc := NewBitScratch(g.N())
+	sg := NewBitScratch(g.N())
+	sc.SweepFrom(c, 0, 64)
+	sg.SweepFrom(g, 0, 64) // *Graph takes the generic View path
+	for v := 0; v < g.N(); v++ {
+		if sc.Visited(v) != sg.Visited(v) {
+			t.Fatalf("visited mask differs at %d", v)
+		}
+		for i := uint(0); i < 64; i++ {
+			if sc.Dist(i, v) != sg.Dist(i, v) {
+				t.Fatalf("dist(%d,%d) differs between CSR and generic sweeps", i, v)
+			}
+		}
+	}
+}
+
+// TestBitSweepZeroAlloc pins the steady-state allocation guarantee: a
+// warm scratch runs batches without allocating.
+func TestBitSweepZeroAlloc(t *testing.T) {
+	g := bitFamilies()["er"]
+	c := NewCSR(g)
+	s := NewBitScratch(g.N())
+	s.SweepFrom(c, 0, 64) // warm-up
+	allocs := testing.AllocsPerRun(20, func() {
+		s.SweepFrom(c, 64, 64)
+		s.SweepFrom(c, 0, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("batch sweep allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkBitSweep64(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 4096
+	g := New(n)
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	c := NewCSR(g)
+	s := NewBitScratch(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SweepFrom(c, (i*64)%(n-64), 64)
+	}
+}
+
+func TestBatchOrderIsPartition(t *testing.T) {
+	for name, g := range bitFamilies() {
+		c := NewCSR(g)
+		order, starts := BatchOrder(c)
+		if len(order) != g.N() {
+			t.Fatalf("%s: order covers %d of %d vertices", name, len(order), g.N())
+		}
+		seen := make([]bool, g.N())
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("%s: vertex %d assigned twice", name, v)
+			}
+			seen[v] = true
+		}
+		if starts[0] != 0 || int(starts[len(starts)-1]) != len(order) {
+			t.Fatalf("%s: starts endpoints %v", name, starts)
+		}
+		for b := 0; b < len(starts)-1; b++ {
+			size := starts[b+1] - starts[b]
+			if size < 1 || size > 64 {
+				t.Fatalf("%s: batch %d has %d sources", name, b, size)
+			}
+		}
+		// Determinism: a second run must produce the identical partition.
+		order2, starts2 := BatchOrder(c)
+		for i := range order {
+			if order[i] != order2[i] {
+				t.Fatalf("%s: order not deterministic at %d", name, i)
+			}
+		}
+		for i := range starts {
+			if starts[i] != starts2[i] {
+				t.Fatalf("%s: starts not deterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSweepSourcesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, g := range bitFamilies() {
+		c := NewCSR(g)
+		s := NewBitScratch(g.N())
+		perm := rng.Perm(g.N())
+		sources := make([]int32, min64(g.N()))
+		for i := range sources {
+			sources[i] = int32(perm[i])
+		}
+		s.SweepSources(c, sources)
+		for i, u := range sources {
+			want := BFS(g, int(u))
+			for v := 0; v < g.N(); v++ {
+				if got := s.Dist(uint(i), v); got != want[v] {
+					t.Fatalf("%s: dist(%d,%d) = %d, want %d", name, u, v, got, want[v])
+				}
+			}
+		}
+	}
+}

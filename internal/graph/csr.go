@@ -40,6 +40,29 @@ func (c *CSR) Neighbors(u int) []int32 {
 	return c.targets[c.offsets[u]:c.offsets[u+1]]
 }
 
+// SubsetOf reports whether every edge of c is an edge of d (same
+// vertex count assumed). One merge scan per row over the sorted
+// adjacencies — O(m_c + m_d).
+func (c *CSR) SubsetOf(d *CSR) bool {
+	if c.N() != d.N() {
+		return false
+	}
+	for u := 0; u < c.N(); u++ {
+		sub, super := c.Neighbors(u), d.Neighbors(u)
+		j := 0
+		for _, v := range sub {
+			for j < len(super) && super[j] < v {
+				j++
+			}
+			if j >= len(super) || super[j] != v {
+				return false
+			}
+			j++
+		}
+	}
+	return true
+}
+
 // BFS computes distances from src into dist (len ≥ N, overwritten),
 // reusing queue as scratch; returns the visit order. Semantics match
 // graph.BFS.

@@ -1,0 +1,92 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/gen"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+	"remspan/internal/spanner"
+)
+
+// dropFuzzEdges removes roughly frac of g's edges — a deliberately
+// broken spanner so violation paths are exercised, witnesses included.
+func dropFuzzEdges(g *graph.Graph, frac float64, rng *rand.Rand) *graph.Graph {
+	h := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if rng.Float64() >= frac {
+			h.AddEdge(int(e[0]), int(e[1]))
+		}
+	}
+	return h
+}
+
+// FuzzVerifyEquivalence differentially fuzzes the word-parallel
+// verification engine against the scalar reference: on random
+// UDG/ER/grid/star graphs (disconnected variants included), the
+// bit-parallel Check, MeasureProfile and oracle Validate must agree
+// exactly — bit-identical profiles and the same first-violation pair
+// under the deterministic batch order. Sizes stay ≥ 128 so the public
+// entry points dispatch to the batched engine while the *Scalar
+// references stay on the scalar path.
+func FuzzVerifyEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(10), uint8(100), uint8(80), int64(1))
+	f.Add(uint8(1), uint8(200), uint8(30), uint8(0), int64(2))
+	f.Add(uint8(2), uint8(77), uint8(200), uint8(255), int64(3))
+	f.Add(uint8(3), uint8(5), uint8(0), uint8(40), int64(4))
+	f.Add(uint8(4), uint8(160), uint8(90), uint8(120), int64(5))
+	f.Fuzz(func(t *testing.T, fam, size, density, drop uint8, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		switch fam % 5 {
+		case 0: // unit-disk
+			n := 128 + int(size)
+			pts := geom.UniformBox(n, 2, 3+float64(density%6), rng)
+			g = geom.UnitDiskGraph(pts, 1)
+		case 1: // Erdős–Rényi
+			n := 128 + int(size)
+			g = gen.ErdosRenyi(n, 0.01+float64(density)/255*0.05, rng)
+		case 2: // grid
+			g = gen.Grid(8+int(size)%10, 16+int(density)%8)
+		case 3: // star
+			g = gen.Star(128 + int(size))
+		default: // disconnected: two ER blobs + isolated vertices
+			na, nb := 64+int(size)%64, 64+int(density)%64
+			g = graph.New(na + nb + 5)
+			for _, e := range gen.ErdosRenyi(na, 0.05, rng).Edges() {
+				g.AddEdge(int(e[0]), int(e[1]))
+			}
+			for _, e := range gen.ErdosRenyi(nb, 0.05, rng).Edges() {
+				g.AddEdge(int(e[0])+na, int(e[1])+na)
+			}
+		}
+		h := dropFuzzEdges(spanner.Exact(g).Graph(), float64(drop)/384, rng)
+
+		for _, st := range []spanner.Stretch{
+			spanner.NewStretch(1, 0),
+			spanner.NewStretch(2, -1),
+			spanner.LowStretchOf(4),
+		} {
+			want := spanner.CheckScalar(g, h, st)
+			got := spanner.Check(g, h, st)
+			if (want == nil) != (got == nil) {
+				t.Fatalf("Check %v: scalar %v, batched %v", st, want, got)
+			}
+			if want != nil && *want != *got {
+				t.Fatalf("Check %v witness: scalar %+v, batched %+v", st, want, got)
+			}
+		}
+
+		if want, got := spanner.MeasureProfileScalar(g, h), spanner.MeasureProfile(g, h); want != got {
+			t.Fatalf("MeasureProfile: scalar %+v, batched %+v", want, got)
+		}
+
+		o := New(g, h, spanner.NewStretch(1, 0))
+		su, sv := o.ValidateScalar()
+		bu, bv := o.Validate()
+		if su != bu || sv != bv {
+			t.Fatalf("Validate: scalar (%d,%d), batched (%d,%d)", su, sv, bu, bv)
+		}
+	})
+}

@@ -49,6 +49,7 @@ func (s Stretch) Holds(dg, dh int64) bool {
 }
 
 // Violation is a witness pair breaking a remote-spanner guarantee.
+// DH is -1 when v is unreachable in H_u.
 type Violation struct {
 	U, V   int
 	DG, DH int
@@ -59,15 +60,53 @@ func (v *Violation) Error() string {
 	return fmt.Sprintf("spanner: pair (%d,%d) k=%d: d_G=%d but d_{H_u}=%d", v.U, v.V, v.K, v.DG, v.DH)
 }
 
+// dhField normalizes a traversal distance for a Violation: the
+// documented unreachable value is -1, independent of the internal
+// graph.Unreached sentinel.
+func dhField(d int32) int {
+	if d == graph.Unreached {
+		return -1
+	}
+	return int(d)
+}
+
+// batchedMinN is the vertex count below which verification stays on
+// the scalar path: under two 64-source batches, mask bookkeeping costs
+// more than it saves, and the scalar path doubles as the equivalence
+// oracle the batched engine is tested against.
+const batchedMinN = 128
+
 // Check verifies the (α, β)-remote-spanner property of h against g for
 // every ordered pair (u, v): d_{H_u}(u, v) ≤ α·d_G(u, v) + β for
 // non-adjacent u, v (adjacent pairs hold trivially with distance 1).
-// Returns the first violation found, or nil. Runs one BFS pair per
-// vertex over immutable CSR snapshots of g and h taken up front,
-// parallelized across vertices with per-worker scratch.
+// It returns the lexicographically smallest violating pair (min u,
+// then min v), or nil — a deterministic witness regardless of worker
+// scheduling or engine.
+//
+// Large inputs run on the word-parallel 64-source batch engine
+// (verify_batch.go); tiny ones on the scalar reference path. Both are
+// parallelized with per-worker scratch over immutable CSR snapshots
+// taken up front.
 func Check(g, h *graph.Graph, st Stretch) *Violation {
-	n := g.N()
 	cg, ch := graph.NewCSR(g), graph.NewCSR(h)
+	// The batched judge needs positive denominators and α ≥ 0 for its
+	// monotone threshold table; anything else (never produced by the
+	// constructions) stays on the scalar reference.
+	if cg.N() >= batchedMinN && st.AlphaDen > 0 && st.BetaDen > 0 && st.AlphaNum >= 0 {
+		return checkBatchedCSR(cg, ch, st)
+	}
+	return checkScalarCSR(cg, ch, st)
+}
+
+// CheckScalar is the scalar reference implementation of Check: one
+// BFS pair per vertex. It is the equivalence oracle for the batched
+// engine (FuzzVerifyEquivalence) and the fallback for tiny graphs.
+func CheckScalar(g, h *graph.Graph, st Stretch) *Violation {
+	return checkScalarCSR(graph.NewCSR(g), graph.NewCSR(h), st)
+}
+
+func checkScalarCSR(cg, ch *graph.CSR, st Stretch) *Violation {
+	n := cg.N()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -76,8 +115,15 @@ func Check(g, h *graph.Graph, st Stretch) *Violation {
 		workers = 1
 	}
 	var next atomic.Int64
+	// stop is the smallest source known to violate: once set, no worker
+	// claims a source ≥ stop, so the pool drains instead of scanning to
+	// completion. Claims are monotone, so every source below the first
+	// violation is still fully processed — which is what makes the
+	// returned lexicographic minimum exact.
+	var stop atomic.Int64
+	stop.Store(int64(n))
 	var mu sync.Mutex
-	var worst *Violation
+	var best *Violation
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -87,32 +133,44 @@ func Check(g, h *graph.Graph, st Stretch) *Violation {
 			gs := graph.NewBFSScratch(n)
 			for {
 				u := int(next.Add(1)) - 1
-				if u >= n {
+				if u >= n || int64(u) >= stop.Load() {
 					return
 				}
 				// Touched-only reset keeps fragmented graphs O(Σ|component|),
 				// not O(n) per root.
 				dg, _, reached := gs.BoundedView(cg, u, n)
 				dh := vs.BFSCSR(cg, ch, u)
+				minV := int32(-1)
 				for _, v := range reached {
 					if dg[v] < 2 {
 						continue
 					}
 					if dh[v] == graph.Unreached || !st.Holds(int64(dg[v]), int64(dh[v])) {
-						mu.Lock()
-						if worst == nil {
-							dhv := int(dh[v])
-							worst = &Violation{U: u, V: int(v), DG: int(dg[v]), DH: dhv, K: 1}
+						if minV < 0 || v < minV {
+							minV = v
 						}
-						mu.Unlock()
-						return
 					}
 				}
+				if minV < 0 {
+					continue
+				}
+				for {
+					cur := stop.Load()
+					if int64(u) >= cur || stop.CompareAndSwap(cur, int64(u)) {
+						break
+					}
+				}
+				vio := &Violation{U: u, V: int(minV), DG: int(dg[minV]), DH: dhField(dh[minV]), K: 1}
+				mu.Lock()
+				if best == nil || vio.U < best.U || (vio.U == best.U && vio.V < best.V) {
+					best = vio
+				}
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	return worst
+	return best
 }
 
 // Profile summarizes observed stretch over all pairs: the maximum of
@@ -125,14 +183,86 @@ type Profile struct {
 	MaxAdd     int // max additive excess d_H_u − d_G
 }
 
+// profAcc accumulates a Profile in an order-independent form, so the
+// scalar sweep, the 64-source batch sweep, and any worker interleaving
+// all produce bit-identical results. The average's numerator is kept
+// as exact integer sums bucketed by d_G (Σ d_H over pairs at each
+// denominator); the only floating-point operations are a fixed-order
+// reduction at the end plus max(), which commutes.
+type profAcc struct {
+	pairs      int
+	maxAdd     int32
+	maxStretch float64
+	num        []int64 // num[d] = Σ d_H over pairs with d_G == d
+}
+
+func newProfAcc(n int) *profAcc {
+	return &profAcc{num: make([]int64, n+1)}
+}
+
+// add records one (d_G, d_H) pair with d_G ≥ 2 and d_H reachable.
+func (a *profAcc) add(dg, dh int32) {
+	a.pairs++
+	a.num[dg] += int64(dh)
+	if s := float64(dh) / float64(dg); s > a.maxStretch {
+		a.maxStretch = s
+	}
+	if add := dh - dg; add > a.maxAdd {
+		a.maxAdd = add
+	}
+}
+
+func (a *profAcc) merge(b *profAcc) {
+	a.pairs += b.pairs
+	for d, s := range b.num {
+		a.num[d] += s
+	}
+	if b.maxStretch > a.maxStretch {
+		a.maxStretch = b.maxStretch
+	}
+	if b.maxAdd > a.maxAdd {
+		a.maxAdd = b.maxAdd
+	}
+}
+
+func (a *profAcc) profile() Profile {
+	p := Profile{Pairs: a.pairs, MaxStretch: a.maxStretch, MaxAdd: int(a.maxAdd)}
+	if a.pairs == 0 {
+		return p
+	}
+	sum := 0.0
+	for d := 2; d < len(a.num); d++ {
+		if a.num[d] != 0 {
+			sum += float64(a.num[d]) / float64(d)
+		}
+	}
+	p.AvgStretch = sum / float64(a.pairs)
+	return p
+}
+
 // MeasureProfile computes the observed stretch profile of h over g.
+// Large inputs run on the word-parallel 64-source batch engine with a
+// worker pool; the result is bit-identical to MeasureProfileScalar
+// (order-independent accumulation, see profAcc).
 func MeasureProfile(g, h *graph.Graph) Profile {
-	n := g.N()
 	cg, ch := graph.NewCSR(g), graph.NewCSR(h)
+	if cg.N() >= batchedMinN {
+		return measureBatchedCSR(cg, ch)
+	}
+	return measureScalarCSR(cg, ch)
+}
+
+// MeasureProfileScalar is the scalar reference implementation of
+// MeasureProfile: one BFS pair per vertex, serial.
+func MeasureProfileScalar(g, h *graph.Graph) Profile {
+	return measureScalarCSR(graph.NewCSR(g), graph.NewCSR(h))
+}
+
+func measureScalarCSR(cg, ch *graph.CSR) Profile {
+	n := cg.N()
 	vs := NewViewScratch(n)
 	gs := graph.NewBFSScratch(n)
-	var p Profile
-	sum := 0.0
+	acc := newProfAcc(n)
 	for u := 0; u < n; u++ {
 		dg, _, reached := gs.BoundedView(cg, u, n)
 		dh := vs.BFSCSR(cg, ch, u)
@@ -140,21 +270,10 @@ func MeasureProfile(g, h *graph.Graph) Profile {
 			if dg[v] < 2 || dh[v] == graph.Unreached {
 				continue
 			}
-			s := float64(dh[v]) / float64(dg[v])
-			sum += s
-			p.Pairs++
-			if s > p.MaxStretch {
-				p.MaxStretch = s
-			}
-			if add := int(dh[v] - dg[v]); add > p.MaxAdd {
-				p.MaxAdd = add
-			}
+			acc.add(dg[v], dh[v])
 		}
 	}
-	if p.Pairs > 0 {
-		p.AvgStretch = sum / float64(p.Pairs)
-	}
-	return p
+	return acc.profile()
 }
 
 // CheckKConnecting verifies the k-connecting (α, β)-remote-spanner

@@ -1,0 +1,257 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/gen"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+)
+
+// verifyFamilies returns the generator families the batched verifier
+// is pinned against, spanning the paper's workloads: geometric (UDG),
+// random (ER), structured (grid, star, ring, hypercube), tree, and
+// disconnected inputs.
+func verifyFamilies() map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(42))
+	pts := geom.UniformBox(180, 2, 4, rng)
+	udg := geom.UnitDiskGraph(pts, 1)
+	fams := map[string]*graph.Graph{
+		"udg":       udg,
+		"er":        gen.ErdosRenyi(170, 0.03, rand.New(rand.NewSource(5))),
+		"grid":      gen.Grid(13, 12),
+		"star":      gen.Star(150),
+		"ring":      gen.Ring(140),
+		"hypercube": gen.Hypercube(7),
+		"tree":      gen.RandomTree(160, rand.New(rand.NewSource(6))),
+	}
+	// Disconnected: two ER blobs plus isolated vertices.
+	disc := graph.New(200)
+	a := gen.ErdosRenyi(80, 0.06, rand.New(rand.NewSource(7)))
+	for _, e := range a.Edges() {
+		disc.AddEdge(int(e[0]), int(e[1]))
+	}
+	b := gen.ErdosRenyi(90, 0.05, rand.New(rand.NewSource(8)))
+	for _, e := range b.Edges() {
+		disc.AddEdge(int(e[0])+85, int(e[1])+85)
+	}
+	fams["disconnected"] = disc
+	return fams
+}
+
+// dropEdges returns a subgraph of g with roughly the given fraction of
+// edges removed — a deliberately broken "spanner" for violation paths.
+func dropEdges(g *graph.Graph, frac float64, rng *rand.Rand) *graph.Graph {
+	h := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if rng.Float64() >= frac {
+			h.AddEdge(int(e[0]), int(e[1]))
+		}
+	}
+	return h
+}
+
+// TestStarDecompositionIdentity pins the identity the batched engine
+// rests on (see verify_batch.go): the 64-source sweep over H alone,
+// star-seeded from each source's G-neighbors, reproduces
+// ViewScratch.BFSCSR's per-source H_u distances exactly — on every
+// generator family, for intact and broken spanners.
+func TestStarDecompositionIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, g := range verifyFamilies() {
+		n := g.N()
+		cg := graph.NewCSR(g)
+		for hname, h := range map[string]*graph.Graph{
+			"exact":  Exact(g).Graph(),
+			"broken": dropEdges(Exact(g).Graph(), 0.4, rng),
+			"empty":  graph.New(n),
+		} {
+			ch := graph.NewCSR(h)
+			bs := graph.NewBitScratch(n)
+			vs := NewViewScratch(n)
+			// Shuffled source order: the identity must hold for arbitrary
+			// batch compositions, not just id-contiguous ones.
+			perm := rng.Perm(n)
+			for base := 0; base < n; base += 64 {
+				count := 64
+				if base+count > n {
+					count = n - base
+				}
+				sources := make([]int32, count)
+				for i := range sources {
+					sources[i] = int32(perm[base+i])
+				}
+				SweepViewBatch(bs, cg, ch, sources)
+				for i, u := range sources {
+					ref := vs.BFSCSR(cg, ch, int(u))
+					for v := 0; v < n; v++ {
+						if got := bs.Dist(uint(i), v); got != ref[v] {
+							t.Fatalf("%s/%s: d_{H_%d}(%d) = %d, scalar %d",
+								name, hname, u, v, got, ref[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckBatchedMatchesScalar pins full Violation equality —
+// including the first-violation witness pair under the deterministic
+// batch order — between the scalar reference and the batched engine.
+func TestCheckBatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	stretches := []Stretch{
+		NewStretch(1, 0), NewStretch(2, -1), NewStretch(1, 2), LowStretchOf(3),
+	}
+	for name, g := range verifyFamilies() {
+		cg := graph.NewCSR(g)
+		for hname, h := range map[string]*graph.Graph{
+			"exact":  Exact(g).Graph(),
+			"broken": dropEdges(Exact(g).Graph(), 0.35, rng),
+			"empty":  graph.New(g.N()),
+		} {
+			ch := graph.NewCSR(h)
+			for _, st := range stretches {
+				want := checkScalarCSR(cg, ch, st)
+				got := checkBatchedCSR(cg, ch, st)
+				if (want == nil) != (got == nil) {
+					t.Fatalf("%s/%s %v: scalar %v, batched %v", name, hname, st, want, got)
+				}
+				if want != nil && *want != *got {
+					t.Fatalf("%s/%s %v: witness differs: scalar %+v, batched %+v",
+						name, hname, st, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureProfileBatchedMatchesScalar pins bit-identical Profile
+// equality: the accumulation is order-independent, so the structs —
+// floats included — must match exactly.
+func TestMeasureProfileBatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, g := range verifyFamilies() {
+		cg := graph.NewCSR(g)
+		for hname, h := range map[string]*graph.Graph{
+			"exact":  Exact(g).Graph(),
+			"two":    TwoConnecting(g).Graph(),
+			"broken": dropEdges(Exact(g).Graph(), 0.5, rng),
+		} {
+			ch := graph.NewCSR(h)
+			want := measureScalarCSR(cg, ch)
+			got := measureBatchedCSR(cg, ch)
+			if want != got {
+				t.Fatalf("%s/%s: scalar %+v, batched %+v", name, hname, want, got)
+			}
+		}
+	}
+}
+
+// TestStretchThresholds cross-checks the precomputed threshold table
+// against Stretch.Holds on integer and fractional stretches, negative
+// additive terms included.
+func TestStretchThresholds(t *testing.T) {
+	for _, st := range []Stretch{
+		NewStretch(1, 0), NewStretch(1, 2), NewStretch(2, -1), NewStretch(3, -2),
+		LowStretchOf(3), LowStretchOf(5),
+		{AlphaNum: 7, AlphaDen: 5, BetaNum: -3, BetaDen: 4},
+	} {
+		thr := StretchThresholds(st, 60)
+		for d := int64(0); d <= 60; d++ {
+			for dh := int64(0); dh <= 70; dh++ {
+				holds := st.Holds(d, dh)
+				byThr := dh <= int64(thr[d])
+				if holds != byThr {
+					t.Fatalf("%v d=%d dh=%d: Holds=%v threshold=%v (thr=%d)",
+						st, d, dh, holds, byThr, thr[d])
+				}
+			}
+		}
+	}
+}
+
+// TestCheckPublicDispatch exercises the public entry points across the
+// batched-size threshold on a graph large enough for the batched path.
+func TestCheckPublicDispatch(t *testing.T) {
+	g := gen.Grid(16, 16) // n = 256 ≥ batchedMinN
+	h := Exact(g).Graph()
+	if v := Check(g, h, NewStretch(1, 0)); v != nil {
+		t.Fatalf("exact spanner rejected: %v", v)
+	}
+	if got, want := MeasureProfile(g, h), MeasureProfileScalar(g, h); got != want {
+		t.Fatalf("dispatched profile %+v != scalar %+v", got, want)
+	}
+	empty := graph.New(g.N())
+	vb := Check(g, empty, NewStretch(1, 0))
+	vs := CheckScalar(g, empty, NewStretch(1, 0))
+	if vb == nil || vs == nil || *vb != *vs {
+		t.Fatalf("dispatched witness %+v != scalar %+v", vb, vs)
+	}
+	if vb.DH != -1 {
+		t.Fatalf("unreachable DH reported as %d, want -1", vb.DH)
+	}
+}
+
+func benchVerifyInput(b *testing.B, n int) (*graph.CSR, *graph.CSR) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := geom.UniformBox(n, 2, 16, rng)
+	g := geom.UnitDiskGraph(pts, 1)
+	h := Exact(g).Graph()
+	return graph.NewCSR(g), graph.NewCSR(h)
+}
+
+func BenchmarkCheckScalar(b *testing.B) {
+	cg, ch := benchVerifyInput(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := checkScalarCSR(cg, ch, NewStretch(1, 0)); v != nil {
+			b.Fatal(v)
+		}
+	}
+}
+
+func BenchmarkCheckBatched(b *testing.B) {
+	cg, ch := benchVerifyInput(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := checkBatchedCSR(cg, ch, NewStretch(1, 0)); v != nil {
+			b.Fatal(v)
+		}
+	}
+}
+
+func BenchmarkMeasureProfileBatched(b *testing.B) {
+	cg, ch := benchVerifyInput(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		measureBatchedCSR(cg, ch)
+	}
+}
+
+// TestViewJudgeZeroAlloc pins the steady-state allocation guarantee of
+// the full batch verification path: a warm judge runs batches without
+// allocating.
+func TestViewJudgeZeroAlloc(t *testing.T) {
+	g := verifyFamilies()["udg"]
+	cg := graph.NewCSR(g)
+	ch := graph.NewCSR(Exact(g).Graph())
+	thr := StretchThresholds(NewStretch(1, 0), g.N())
+	order, starts := graph.BatchOrder(cg)
+	j := NewViewJudge(g.N())
+	miss := func(bit int, v int32, dg int32) {
+		t.Fatalf("exact spanner missed deadline at bit=%d v=%d dg=%d", bit, v, dg)
+	}
+	run := func() {
+		for b := 0; b < len(starts)-1; b++ {
+			j.Run(cg, ch, order[starts[b]:starts[b+1]], thr, miss)
+		}
+	}
+	run() // warm-up
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Fatalf("warm judge allocates %.1f/op, want 0", allocs)
+	}
+}

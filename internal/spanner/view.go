@@ -100,7 +100,6 @@ func (s *ViewScratch) BFS(g, h *graph.Graph, u int) []int32 {
 	for _, v := range s.queue {
 		s.dist[v] = graph.Unreached
 	}
-	s.dist[u] = graph.Unreached
 	s.queue = s.queue[:0]
 
 	s.dist[u] = 0

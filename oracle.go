@@ -33,6 +33,12 @@ func (d *DistanceOracle) QueryBatch(u int, targets []int) []int {
 // Clone returns an independently usable oracle for another goroutine.
 func (d *DistanceOracle) Clone() *DistanceOracle { return &DistanceOracle{o: d.o.Clone()} }
 
+// Validate exhaustively checks the oracle's two-sided guarantee
+// (d_G ≤ Query ≤ α·d_G + β) over all pairs on the word-parallel
+// 64-source verification engine, returning the first violating pair in
+// (u, v) order, or (-1, -1) when the guarantee holds everywhere.
+func (d *DistanceOracle) Validate() (int, int) { return d.o.Validate() }
+
 // StorageWords reports the oracle's memory footprint in 4-byte words —
 // compare against the n² of an exact distance table.
 func (d *DistanceOracle) StorageWords() int { return d.o.StorageWords() }
