@@ -12,6 +12,7 @@ import (
 
 	"remspan"
 	"remspan/internal/baseline"
+	"remspan/internal/distsim"
 	"remspan/internal/domtree"
 	"remspan/internal/dynamic"
 	"remspan/internal/expt"
@@ -52,6 +53,7 @@ func BenchmarkLiveProtocol(b *testing.B)      { runExperiment(b, "E13") }
 func BenchmarkChurn(b *testing.B)             { runExperiment(b, "E14") }
 func BenchmarkWorstCase(b *testing.B)         { runExperiment(b, "E15") }
 func BenchmarkAsynchrony(b *testing.B)        { runExperiment(b, "E16") }
+func BenchmarkLiveNetwork(b *testing.B)       { runExperiment(b, "E17") }
 
 // --- construction micro-benchmarks (the Table 1 structures) ---
 
@@ -142,6 +144,54 @@ func BenchmarkDistributedProtocol(b *testing.B) {
 	}
 	b.ReportMetric(float64(rounds), "rounds")
 	b.ReportMetric(float64(words), "words")
+}
+
+// BenchmarkDistsim measures the distributed simulation engine
+// (DESIGN.md §3d) on a constant-degree UDG: the flat-state engine vs
+// the message-level reference statically, and the incremental live
+// tick (mobility diff → dirty-root reflood) that the 50k-scale
+// BENCH_distsim.json suite extends.
+func BenchmarkDistsim(b *testing.B) {
+	const n, deg = 2000, 8
+	side := math.Sqrt(math.Pi * n / deg)
+	gg := remspan.RandomUDG(n, side, 1)
+	g := graph.FromEdges(gg.N(), gg.Edges())
+	build := func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, 1)
+	}
+	b.Run("engine-static", func(b *testing.B) {
+		b.ReportAllocs()
+		var words int64
+		for i := 0; i < b.N; i++ {
+			words = distsim.RunRemSpan(g, 1, build).Words
+		}
+		b.ReportMetric(float64(words), "words")
+	})
+	b.Run("reference-static", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			distsim.RunRemSpanReference(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+				return domtree.KGreedy(local, u, 1)
+			})
+		}
+	})
+	b.Run("live-tick", func(b *testing.B) {
+		e := distsim.NewEngine(g, 1, build)
+		e.Run()
+		add := []dynamic.Change{{Kind: dynamic.AddEdge, U: 0, V: 1}}
+		del := []dynamic.Change{{Kind: dynamic.RemoveEdge, U: 0, V: 1}}
+		if g.HasEdge(0, 1) {
+			add, del = del, add
+		}
+		e.Reflood(add)
+		e.Reflood(del)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Reflood(add)
+			e.Reflood(del)
+		}
+	})
 }
 
 // --- ablations (DESIGN.md §5) ---

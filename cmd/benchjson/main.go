@@ -21,6 +21,16 @@
 // oracle.Validate — on the scalar reference engine and the
 // word-parallel 64-source bit-packed engine, at several graph sizes,
 // recording the bit-parallel speedup per operation.
+//
+// The distsim suite (-suite distsim → BENCH_distsim.json) measures the
+// distributed protocol simulation (DESIGN.md §3d): static RemSpan runs
+// on the flat-state engine vs the message-level reference (with the
+// engine speedup), and live-mobility runs where per-tick unit-disk
+// diffs drive dirty-root incremental re-advertisement, compared against
+// OSPF-style full link-state re-flooding.
+//
+// -quick replaces testing.Benchmark with one timed iteration per cell —
+// the smoke-test and CI mode.
 package main
 
 import (
@@ -34,14 +44,63 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"remspan"
+	"remspan/internal/distsim"
+	"remspan/internal/domtree"
 	"remspan/internal/dynamic"
 	"remspan/internal/gen"
 	"remspan/internal/graph"
+	"remspan/internal/mobility"
 	"remspan/internal/oracle"
 	"remspan/internal/spanner"
 )
+
+// quickMode is set by -quick: every benchmark cell runs one timed
+// iteration (with malloc counters from runtime.MemStats) instead of the
+// auto-scaling testing.Benchmark loop.
+var quickMode bool
+
+// benchRes is the subset of testing.BenchmarkResult the reports use,
+// producible by either measurement mode.
+type benchRes struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	N           int
+}
+
+// bench measures f in the current mode.
+func bench(f func()) benchRes {
+	if quickMode {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		f()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return benchRes{
+			NsPerOp:     float64(elapsed.Nanoseconds()),
+			AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+			BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+			N:           1,
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return benchRes{
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		N:           res.N,
+	}
+}
 
 func mustSpanner(s *remspan.Spanner, err error) *remspan.Spanner {
 	if err != nil {
@@ -127,7 +186,7 @@ type verifyReport struct {
 }
 
 func main() {
-	suite := flag.String("suite", "construct", "benchmark suite: construct | churn | verify")
+	suite := flag.String("suite", "construct", "benchmark suite: construct | churn | verify | distsim")
 	n := flag.Int("n", 400, "construct suite: graph size (vertices)")
 	side := flag.Float64("side", 4, "construct suite: UDG square side (the historical dense-graph workload; the real mean degree lands near n/5 and is reported as avg_degree)")
 	churnDeg := flag.Int("churn-deg", 8, "churn suite: target average UDG degree (keep > ~4.5, the percolation threshold)")
@@ -136,8 +195,13 @@ func main() {
 	vsizes := flag.String("verify-sizes", "2000,10000,50000", "verify suite: comma-separated graph sizes")
 	verifyDeg := flag.Int("verify-deg", 24, "verify suite: target average UDG degree (the ER workload is pinned at table 1's mean degree 16)")
 	batch := flag.Int("batch", 64, "churn suite: ApplyBatch size for the batch mode")
+	dsizes := flag.String("distsim-sizes", "2000,10000,50000", "distsim suite: comma-separated graph sizes")
+	distsimDeg := flag.Int("distsim-deg", 8, "distsim suite: target average UDG degree")
+	distsimTicks := flag.Int("distsim-ticks", 100, "distsim suite: mobility ticks per live run")
+	quick := flag.Bool("quick", false, "one timed iteration per cell instead of testing.Benchmark (smoke/CI mode)")
 	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
+	quickMode = *quick
 
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
@@ -150,6 +214,8 @@ func main() {
 		data = runChurn(parseSizes(*sizes), *churnDeg, *seed, *batch)
 	case "verify":
 		data = runVerify(parseSizes(*vsizes), *verifyDeg, *seed)
+	case "distsim":
+		data = runDistsim(parseSizes(*dsizes), *distsimDeg, *seed, *distsimTicks)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(1)
@@ -213,22 +279,17 @@ func runConstruct(n int, side float64, seed int64) []byte {
 	}
 	for _, c := range cases {
 		edges := 0
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				edges = c.run()
-			}
-		})
+		res := bench(func() { edges = c.run() })
 		rep.Benchmarks = append(rep.Benchmarks, constructRecord{
 			Name:        c.name,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
+			NsPerOp:     res.NsPerOp,
+			AllocsPerOp: res.AllocsPerOp,
+			BytesPerOp:  res.BytesPerOp,
 			Edges:       edges,
 			Iterations:  res.N,
 		})
 		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d allocs/op %6d edges\n",
-			c.name, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp(), edges)
+			c.name, res.NsPerOp, res.AllocsPerOp, edges)
 	}
 	return marshal(&rep)
 }
@@ -344,7 +405,7 @@ func measureChurn(g *graph.Graph, build dynamic.TreeBuilder, radius int, pairs [
 	var changes int64
 	rebuiltBase := m.TreesRebuilt()
 	perOp := 1
-	var res testing.BenchmarkResult
+	var res benchRes
 	if mode == "batch" {
 		if batchSize > len(pairs) {
 			batchSize = len(pairs)
@@ -358,47 +419,41 @@ func measureChurn(g *graph.Graph, build dynamic.TreeBuilder, radius int, pairs [
 		// changes per op (the changes/sec normalization relies on it).
 		pairs = pairs[:len(pairs)/batchSize*batchSize]
 		next := len(pairs)
-		res = testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				for j := range batch {
-					if next >= len(pairs) {
-						rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
-						next = 0
-					}
-					p := pairs[next]
-					next++
-					kind := dynamic.AddEdge
-					if m.Graph().HasEdge(p[0], p[1]) {
-						kind = dynamic.RemoveEdge
-					}
-					batch[j] = dynamic.Change{Kind: kind, U: p[0], V: p[1]}
+		res = bench(func() {
+			for j := range batch {
+				if next >= len(pairs) {
+					rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+					next = 0
 				}
-				changes += int64(m.ApplyBatch(batch))
+				p := pairs[next]
+				next++
+				kind := dynamic.AddEdge
+				if m.Graph().HasEdge(p[0], p[1]) {
+					kind = dynamic.RemoveEdge
+				}
+				batch[j] = dynamic.Change{Kind: kind, U: p[0], V: p[1]}
 			}
+			changes += int64(m.ApplyBatch(batch))
 		})
 	} else {
-		res = testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				p := pairs[rng.Intn(len(pairs))]
-				if m.Graph().HasEdge(p[0], p[1]) {
-					m.RemoveEdge(p[0], p[1])
-				} else {
-					m.AddEdge(p[0], p[1])
-				}
-				changes++
+		res = bench(func() {
+			p := pairs[rng.Intn(len(pairs))]
+			if m.Graph().HasEdge(p[0], p[1]) {
+				m.RemoveEdge(p[0], p[1])
+			} else {
+				m.AddEdge(p[0], p[1])
 			}
+			changes++
 		})
 	}
 	rebuilt := m.TreesRebuilt() - rebuiltBase
-	nsPerChange := float64(res.T.Nanoseconds()) / float64(res.N*perOp)
+	nsPerChange := res.NsPerOp / float64(perOp)
 	rec := churnRecord{
 		Mode:            mode,
 		BatchSize:       perOp,
 		NsPerChange:     nsPerChange,
-		AllocsPerChange: float64(res.AllocsPerOp()) / float64(perOp),
-		BytesPerChange:  float64(res.AllocedBytesPerOp()) / float64(perOp),
+		AllocsPerChange: float64(res.AllocsPerOp) / float64(perOp),
+		BytesPerChange:  float64(res.BytesPerOp) / float64(perOp),
 		ChangesPerSec:   1e9 / nsPerChange,
 		Changes:         changes,
 	}
@@ -473,18 +528,13 @@ func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph) {
 	}
 	scalarNs := map[string]float64{}
 	for _, a := range arms {
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				a.run()
-			}
-		})
+		res := bench(a.run)
 		rec := verifyRecord{
 			Workload: workload, Op: a.op, Engine: a.engine,
 			N: g.N(), GraphEdges: g.M(), SpannerEdges: h.M(),
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
+			NsPerOp:     res.NsPerOp,
+			AllocsPerOp: res.AllocsPerOp,
+			BytesPerOp:  res.BytesPerOp,
 			Iterations:  res.N,
 		}
 		if a.engine == "scalar" {
@@ -496,4 +546,197 @@ func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph) {
 		fmt.Fprintf(os.Stderr, "verify %-5s %-8s n=%-6d %-12s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
 			workload, a.op, g.N(), a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
 	}
+}
+
+// --- distsim suite ---
+
+type distsimStaticRecord struct {
+	Mode               string  `json:"mode"` // "static"
+	Engine             string  `json:"engine"`
+	Builder            string  `json:"builder"`
+	N                  int     `json:"n"`
+	GraphEdges         int     `json:"graph_edges"`
+	SpannerEdges       int     `json:"spanner_edges"`
+	Rounds             int     `json:"rounds"`
+	Messages           int64   `json:"messages"`
+	Words              int64   `json:"words"`
+	FullLSWords        int64   `json:"full_linkstate_words"`
+	NsPerOp            float64 `json:"ns_per_op"`
+	AllocsPerOp        int64   `json:"allocs_per_op"`
+	BytesPerOp         int64   `json:"bytes_per_op"`
+	SpeedupVsReference float64 `json:"speedup_vs_reference,omitempty"`
+	Iterations         int     `json:"iterations"`
+}
+
+type distsimLiveRecord struct {
+	Mode              string  `json:"mode"` // "live"
+	Builder           string  `json:"builder"`
+	N                 int     `json:"n"`
+	Ticks             int     `json:"ticks"`
+	ColdStartNs       float64 `json:"cold_start_ns"`
+	NsPerTick         float64 `json:"ns_per_tick"`
+	ChangesPerTick    float64 `json:"changes_per_tick"`
+	DirtyRootsPerTick float64 `json:"dirty_roots_per_tick"`
+	RefloodsPerTick   float64 `json:"refloods_per_tick"`
+	WordsPerTick      float64 `json:"words_per_tick"`
+	FullWordsPerTick  float64 `json:"full_linkstate_words_per_tick"`
+	WordSaving        float64 `json:"word_saving_vs_full_ls"`
+}
+
+type distsimReport struct {
+	Context struct {
+		Sizes      []int   `json:"sizes"`
+		Degree     int     `json:"target_degree"`
+		Seed       int64   `json:"seed"`
+		Ticks      int     `json:"live_ticks"`
+		MinSpeed   float64 `json:"live_min_speed"`
+		MaxSpeed   float64 `json:"live_max_speed"`
+		GoVersion  string  `json:"go_version"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+	} `json:"context"`
+	Static []distsimStaticRecord `json:"static"`
+	Live   []distsimLiveRecord   `json:"live"`
+}
+
+// distsimBuilders: the (1,0) MPR construction at every size; the
+// radius-2 two-connecting construction up to 10k (its balls are a
+// hop larger, and one production radius suffices to trend the 50k
+// point).
+func distsimBuilders(n int) []dynamic.BuilderSpec {
+	specs := dynamic.Builders()
+	out := specs[:1] // kgreedy1
+	if n <= 10000 {
+		out = specs[:2] // + kmis2
+	}
+	return out
+}
+
+// runDistsim benchmarks the distributed protocol simulation: static
+// runs (engine vs message-level reference, with the engine speedup and
+// the full link-state comparison) and live-mobility runs (per-tick
+// dirty-root re-advertisement vs full link-state re-flooding). The
+// reference engine's per-node O(n) local view makes it quadratic in n,
+// so it is measured only up to 10k.
+func runDistsim(sizes []int, deg int, seed int64, ticks int) []byte {
+	var rep distsimReport
+	const minSpeed, maxSpeed = 0.01, 0.05
+	// Quick mode clamps the live runs; the context must record what
+	// actually ran, not the flag.
+	if quickMode && ticks > 10 {
+		ticks = 10
+	}
+	rep.Context.Sizes = sizes
+	rep.Context.Degree = deg
+	rep.Context.Seed = seed
+	rep.Context.Ticks = ticks
+	rep.Context.MinSpeed = minSpeed
+	rep.Context.MaxSpeed = maxSpeed
+	rep.Context.GoVersion = runtime.Version()
+	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	algos := map[string]distsim.TreeAlgo{
+		"kgreedy1": func(local *graph.Graph, u int) *graph.Tree { return domtree.KGreedy(local, u, 1) },
+		"kmis2":    func(local *graph.Graph, u int) *graph.Tree { return domtree.KMIS(local, u, 2) },
+	}
+
+	for _, n := range sizes {
+		// Constant mean degree across sizes, as in the churn suite.
+		side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+		gg := remspan.RandomUDG(n, side, seed)
+		g := graph.FromEdges(gg.N(), gg.Edges())
+		_, fullWords := distsim.FullLinkState(g)
+
+		for _, bb := range distsimBuilders(n) {
+			var res *distsim.Result
+			engRes := bench(func() { res = distsim.RunRemSpan(g, bb.Radius, distsim.TreeBuilder(bb.Build)) })
+			rec := distsimStaticRecord{
+				Mode: "static", Engine: "engine", Builder: bb.Name,
+				N: g.N(), GraphEdges: g.M(), SpannerEdges: res.H.Len(),
+				Rounds: res.Rounds, Messages: res.Messages, Words: res.Words,
+				FullLSWords: fullWords,
+				NsPerOp:     engRes.NsPerOp, AllocsPerOp: engRes.AllocsPerOp,
+				BytesPerOp: engRes.BytesPerOp, Iterations: engRes.N,
+			}
+			fmt.Fprintf(os.Stderr, "distsim static %-8s n=%-6d engine    %14.0f ns/op %10d words\n",
+				bb.Name, g.N(), engRes.NsPerOp, res.Words)
+
+			// The reference is measured only at sizes where its quadratic
+			// local-view cost stays tolerable.
+			if n <= 10000 {
+				var ref *distsim.Result
+				refRes := bench(func() { ref = distsim.RunRemSpanReference(g, bb.Radius, algos[bb.Name]) })
+				rep.Static = append(rep.Static, rec)
+				refRec := distsimStaticRecord{
+					Mode: "static", Engine: "reference", Builder: bb.Name,
+					N: g.N(), GraphEdges: g.M(), SpannerEdges: ref.H.Len(),
+					Rounds: ref.Rounds, Messages: ref.Messages, Words: ref.Words,
+					FullLSWords: fullWords,
+					NsPerOp:     refRes.NsPerOp, AllocsPerOp: refRes.AllocsPerOp,
+					BytesPerOp: refRes.BytesPerOp, Iterations: refRes.N,
+				}
+				rep.Static = append(rep.Static, refRec)
+				// Stamp the speedup on the engine row just appended.
+				rep.Static[len(rep.Static)-2].SpeedupVsReference = refRes.NsPerOp / engRes.NsPerOp
+				if res.Words != ref.Words || res.Messages != ref.Messages {
+					fmt.Fprintln(os.Stderr, "benchjson: engine/reference traffic mismatch")
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "distsim static %-8s n=%-6d reference %14.0f ns/op speedup %5.1f×\n",
+					bb.Name, g.N(), refRes.NsPerOp, refRes.NsPerOp/engRes.NsPerOp)
+			} else {
+				rep.Static = append(rep.Static, rec)
+			}
+		}
+
+		// Live mobility: drive the tracker/engine primitives directly so
+		// cold start and tick time are measured separately.
+		liveTicks := ticks
+		bb := dynamic.Builders()[0] // kgreedy1
+		rng := rand.New(rand.NewSource(seed))
+		w := mobility.NewWaypoint(n, side, minSpeed, maxSpeed, rng)
+		tr := mobility.NewTracker(w, 1.0)
+		start := time.Now()
+		e := distsim.NewEngine(tr.Graph(), bb.Radius, distsim.TreeBuilder(bb.Build))
+		e.Run()
+		cold := time.Since(start)
+
+		var changes, dirty, refloods, words, fullW int64
+		changesBuf := make([]dynamic.Change, 0, 1024)
+		start = time.Now()
+		for tick := 0; tick < liveTicks; tick++ {
+			added, removed := tr.Tick()
+			changesBuf = changesBuf[:0]
+			for _, p := range removed {
+				changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.RemoveEdge, U: int(p[0]), V: int(p[1])})
+			}
+			for _, p := range added {
+				changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.AddEdge, U: int(p[0]), V: int(p[1])})
+			}
+			st := e.Reflood(changesBuf)
+			changes += int64(st.Applied)
+			dirty += int64(st.DirtyRoots)
+			refloods += int64(st.Refloods)
+			words += st.Words
+			fullW += st.FullWords
+		}
+		tickNs := float64(time.Since(start).Nanoseconds()) / float64(liveTicks)
+		saving := 0.0
+		if words > 0 {
+			saving = float64(fullW) / float64(words)
+		}
+		rep.Live = append(rep.Live, distsimLiveRecord{
+			Mode: "live", Builder: bb.Name, N: n, Ticks: liveTicks,
+			ColdStartNs:       float64(cold.Nanoseconds()),
+			NsPerTick:         tickNs,
+			ChangesPerTick:    float64(changes) / float64(liveTicks),
+			DirtyRootsPerTick: float64(dirty) / float64(liveTicks),
+			RefloodsPerTick:   float64(refloods) / float64(liveTicks),
+			WordsPerTick:      float64(words) / float64(liveTicks),
+			FullWordsPerTick:  float64(fullW) / float64(liveTicks),
+			WordSaving:        saving,
+		})
+		fmt.Fprintf(os.Stderr, "distsim live   %-8s n=%-6d %10.0f ns/tick %8.1f changes/tick saving %6.1f×\n",
+			bb.Name, n, tickNs, float64(changes)/float64(liveTicks), saving)
+	}
+	return marshal(&rep)
 }

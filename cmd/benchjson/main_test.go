@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The benchjson suites previously ran only as a CI side effect of the
+// binary; these smoke tests pin that every suite produces valid JSON at
+// tiny sizes in quick mode (one timed iteration per cell), so a broken
+// record shape or a panicking workload fails `go test ./...` directly.
+
+func runQuick(t *testing.T, f func() []byte) map[string]any {
+	t.Helper()
+	quickMode = true
+	defer func() { quickMode = false }()
+	data := f()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("suite emitted invalid JSON: %v", err)
+	}
+	if _, ok := doc["context"]; !ok {
+		t.Fatal("report lacks a context block")
+	}
+	return doc
+}
+
+func TestConstructSuiteSmoke(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runConstruct(80, 3, 1) })
+	if got := len(doc["benchmarks"].([]any)); got != 4 {
+		t.Fatalf("construct suite emitted %d records, want 4", got)
+	}
+}
+
+func TestChurnSuiteSmoke(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runChurn([]int{300}, 8, 1, 16) })
+	// 4 builders × 2 localities × 3 modes.
+	if got := len(doc["benchmarks"].([]any)); got != 24 {
+		t.Fatalf("churn suite emitted %d records, want 24", got)
+	}
+}
+
+func TestVerifySuiteSmoke(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runVerify([]int{200}, 24, 1) })
+	// 2 workloads × 3 ops × 2 engines.
+	if got := len(doc["benchmarks"].([]any)); got != 12 {
+		t.Fatalf("verify suite emitted %d records, want 12", got)
+	}
+}
+
+func TestDistsimSuiteSmoke(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runDistsim([]int{300}, 8, 1, 5) })
+	// 2 builders × 2 engines static, 1 live row.
+	if got := len(doc["static"].([]any)); got != 4 {
+		t.Fatalf("distsim suite emitted %d static records, want 4", got)
+	}
+	live := doc["live"].([]any)
+	if len(live) != 1 {
+		t.Fatalf("distsim suite emitted %d live records, want 1", len(live))
+	}
+	row := live[0].(map[string]any)
+	if row["word_saving_vs_full_ls"].(float64) <= 1 {
+		t.Fatalf("live run shows no saving vs full link-state: %v", row)
+	}
+}

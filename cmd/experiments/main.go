@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,33 +25,47 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is the testable body of the command: it parses args, writes the
+// selected experiment output to stdout (and -out / -csv targets), and
+// returns instead of exiting so the smoke tests can drive it.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		runID = flag.String("run", "", "run a single experiment by id (e.g. E3)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		out   = flag.String("out", "", "also write output to this file")
-		csv   = flag.String("csv", "", "directory to write one CSV per experiment")
+		list  = fs.Bool("list", false, "list experiments and exit")
+		runID = fs.String("run", "", "run a single experiment by id (e.g. E3)")
+		all   = fs.Bool("all", false, "run every experiment")
+		quick = fs.Bool("quick", false, "reduced sizes (seconds instead of minutes)")
+		seed  = fs.Int64("seed", 1, "base RNG seed")
+		out   = fs.String("out", "", "also write output to this file")
+		csv   = fs.String("csv", "", "directory to write one CSV per experiment")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help already printed the usage; exit 0
+		}
+		return err
+	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		w = io.MultiWriter(stdout, f)
 	}
 
 	if *list {
 		for _, e := range expt.All() {
 			fmt.Fprintf(w, "%-4s %-45s reproduces %s\n", e.ID, e.Title, e.Ref)
 		}
-		return
+		return nil
 	}
 
 	cfg := expt.Config{Quick: *quick, Seed: *seed}
@@ -58,52 +73,50 @@ func main() {
 	case *runID != "":
 		e, ok := expt.Lookup(*runID)
 		if !ok {
-			log.Fatalf("unknown experiment %q (use -list)", *runID)
+			return fmt.Errorf("unknown experiment %q (use -list)", *runID)
 		}
 		fmt.Fprintf(w, "[%s] %s — reproduces %s\n", e.ID, e.Title, e.Ref)
 		t, err := e.Run(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		t.Fprint(w)
-		writeCSV(*csv, e.ID, t)
+		return writeCSV(*csv, e.ID, t)
 	case *all:
 		if *csv == "" {
-			if err := expt.RunAll(cfg, w); err != nil {
-				log.Fatal(err)
-			}
-			return
+			return expt.RunAll(cfg, w)
 		}
 		for _, e := range expt.All() {
 			fmt.Fprintf(w, "\n[%s] %s — reproduces %s\n", e.ID, e.Title, e.Ref)
 			t, err := e.Run(cfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			t.Fprint(w)
-			writeCSV(*csv, e.ID, t)
+			if err := writeCSV(*csv, e.ID, t); err != nil {
+				return err
+			}
 		}
+		return nil
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -run or -all")
 	}
 }
 
 // writeCSV dumps one experiment table as CSV under dir (no-op when dir
 // is empty).
-func writeCSV(dir, id string, t *stats.Table) {
+func writeCSV(dir, id string, t *stats.Table) error {
 	if dir == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	f, err := os.Create(filepath.Join(dir, id+".csv"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
-	if err := t.WriteCSV(f); err != nil {
-		log.Fatal(err)
-	}
+	return t.WriteCSV(f)
 }

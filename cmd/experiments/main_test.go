@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the experiments binary (previously [no test files]):
+// the command plumbing — listing, single-run dispatch, CSV export and
+// error paths — runs under `go test ./...` and go vet.
+
+func TestListEnumeratesAllExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E7", "E16", "E17"} {
+		if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"  ") {
+			t.Fatalf("listing lacks %s:\n%s", id, out)
+		}
+	}
+	if got := strings.Count(out, "reproduces"); got != 17 {
+		t.Fatalf("listed %d experiments, want 17", got)
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E7", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Distributed RemSpan") || strings.Contains(out, "FAIL") {
+		t.Fatalf("unexpected E7 output:\n%s", out)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E7", "-quick", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "E7.csv")); len(m) != 1 {
+		t.Fatalf("E7.csv not written under %s", dir)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &buf); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}

@@ -39,21 +39,21 @@ const (
 // AlgoKConnecting; eps parameterizes AlgoLowStretch.
 func RunDistributed(g *Graph, algo Algorithm, k int, eps float64) (*DistributedResult, error) {
 	var radius int
-	var tree distsim.TreeAlgo
+	var build distsim.TreeBuilder
 	switch algo {
 	case AlgoExact:
 		radius = 1
-		tree = func(local *graph.Graph, u int) *graph.Tree { return domtree.KGreedy(local, u, 1) }
+		build = func(c graph.View, s *domtree.Scratch, u int) *graph.Tree { return domtree.KGreedyCSR(c, s, u, 1) }
 	case AlgoKConnecting:
 		if k < 1 {
 			return nil, fmt.Errorf("remspan: k must be >= 1")
 		}
 		radius = 1
 		kk := k
-		tree = func(local *graph.Graph, u int) *graph.Tree { return domtree.KGreedy(local, u, kk) }
+		build = func(c graph.View, s *domtree.Scratch, u int) *graph.Tree { return domtree.KGreedyCSR(c, s, u, kk) }
 	case AlgoTwoConnecting:
 		radius = 2
-		tree = func(local *graph.Graph, u int) *graph.Tree { return domtree.KMIS(local, u, 2) }
+		build = func(c graph.View, s *domtree.Scratch, u int) *graph.Tree { return domtree.KMISCSR(c, s, u, 2) }
 	case AlgoLowStretch:
 		if eps <= 0 || eps > 1 {
 			return nil, fmt.Errorf("remspan: need 0 < eps <= 1")
@@ -61,11 +61,11 @@ func RunDistributed(g *Graph, algo Algorithm, k int, eps float64) (*DistributedR
 		r, _ := radiusFor(eps)
 		radius = r // β = 1: flooding radius r−1+1 = r
 		rr := r
-		tree = func(local *graph.Graph, u int) *graph.Tree { return domtree.MIS(local, nil, u, rr) }
+		build = func(c graph.View, s *domtree.Scratch, u int) *graph.Tree { return domtree.MISCSR(c, s, u, rr) }
 	default:
 		return nil, fmt.Errorf("remspan: unknown algorithm %d", algo)
 	}
-	res := distsim.RunRemSpan(g.raw(), radius, tree)
+	res := distsim.RunRemSpan(g.raw(), radius, build)
 	return &DistributedResult{
 		Rounds:   res.Rounds,
 		Messages: res.Messages,

@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// Compile pin: examples previously had no test files, so they were
+// never built or vetted by `go test ./...`. This empty test forces
+// both for the multipath example.
+func TestExampleCompiles(t *testing.T) {}

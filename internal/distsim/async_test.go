@@ -17,7 +17,7 @@ func TestAsyncMatchesSyncMPR(t *testing.T) {
 		algo := func(local *graph.Graph, u int) *graph.Tree {
 			return domtree.KGreedy(local, u, 1)
 		}
-		sync := RunRemSpan(g, 1, algo)
+		sync := RunRemSpan(g, 1, kgreedyCSR(1))
 		async := RunRemSpanAsync(g, 1, algo, rand.New(rand.NewSource(int64(trial))))
 		if sync.H.Len() != async.H.Len() {
 			t.Fatalf("trial %d: sync %d vs async %d edges", trial, sync.H.Len(), async.H.Len())
@@ -78,7 +78,7 @@ func TestAsyncRadiusTwo(t *testing.T) {
 	algo := func(local *graph.Graph, u int) *graph.Tree {
 		return domtree.KMIS(local, u, 2)
 	}
-	sync := RunRemSpan(g, 2, algo)
+	sync := RunRemSpan(g, 2, kmisCSR(2))
 	async := RunRemSpanAsync(g, 2, algo, rand.New(rand.NewSource(5)))
 	if sync.H.Len() != async.H.Len() {
 		t.Fatalf("sync %d vs async %d", sync.H.Len(), async.H.Len())

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"remspan/internal/domtree"
+	"remspan/internal/dynamic"
 	"remspan/internal/gen"
 	"remspan/internal/geom"
 	"remspan/internal/graph"
@@ -20,6 +21,49 @@ func randomConnected(n, extra int, rng *rand.Rand) *graph.Graph {
 		}
 	}
 	return g
+}
+
+// enginePair couples the production builder the fast engine runs with
+// the map-based algorithm the reference engine runs — the same
+// (builder, radius) table as dynamic.Builders().
+type enginePair struct {
+	name   string
+	radius int
+	build  TreeBuilder
+	algo   TreeAlgo
+}
+
+func enginePairs() []enginePair {
+	specs := dynamic.Builders()
+	algos := map[string]TreeAlgo{
+		"kgreedy1": func(local *graph.Graph, u int) *graph.Tree { return domtree.KGreedy(local, u, 1) },
+		"kmis2":    func(local *graph.Graph, u int) *graph.Tree { return domtree.KMIS(local, u, 2) },
+		"mis3":     func(local *graph.Graph, u int) *graph.Tree { return domtree.MIS(local, nil, u, 3) },
+		"greedy3":  func(local *graph.Graph, u int) *graph.Tree { return domtree.Greedy(local, nil, u, 3, 1) },
+	}
+	out := make([]enginePair, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, enginePair{name: s.Name, radius: s.Radius, build: TreeBuilder(s.Build), algo: algos[s.Name]})
+	}
+	return out
+}
+
+func kgreedyCSR(k int) TreeBuilder {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KGreedyCSR(c, s, u, k)
+	}
+}
+
+func kmisCSR(k int) TreeBuilder {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.KMISCSR(c, s, u, k)
+	}
+}
+
+func misCSR(r int) TreeBuilder {
+	return func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+		return domtree.MISCSR(c, s, u, r)
+	}
 }
 
 func TestSimSendRules(t *testing.T) {
@@ -63,9 +107,7 @@ func TestRemSpanMatchesCentralizedMPR(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 10; trial++ {
 		g := randomConnected(15+rng.Intn(25), 40, rng)
-		res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
-			return domtree.KGreedy(local, u, 1)
-		})
+		res := RunRemSpan(g, 1, kgreedyCSR(1))
 		want := spanner.Exact(g)
 		if res.H.Len() != want.Edges() {
 			t.Fatalf("trial %d: distributed %d edges, centralized %d",
@@ -88,9 +130,7 @@ func TestRemSpanMatchesCentralizedLowStretch(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		g := randomConnected(20+rng.Intn(20), 40, rng)
 		r := 3 // eps = 0.5
-		res := RunRemSpan(g, r, func(local *graph.Graph, u int) *graph.Tree {
-			return domtree.MIS(local, nil, u, r)
-		})
+		res := RunRemSpan(g, r, misCSR(r))
 		want := spanner.LowStretch(g, 0.5)
 		if res.H.Len() != want.Edges() {
 			t.Fatalf("trial %d: distributed %d edges, centralized %d",
@@ -105,9 +145,7 @@ func TestRemSpanMatchesCentralizedLowStretch(t *testing.T) {
 func TestRemSpanMatchesCentralizedTwoConnecting(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randomConnected(30, 60, rng)
-	res := RunRemSpan(g, 2, func(local *graph.Graph, u int) *graph.Tree {
-		return domtree.KMIS(local, u, 2)
-	})
+	res := RunRemSpan(g, 2, kmisCSR(2))
 	want := spanner.TwoConnecting(g)
 	if res.H.Len() != want.Edges() {
 		t.Fatalf("distributed %d edges, centralized %d", res.H.Len(), want.Edges())
@@ -121,17 +159,22 @@ func TestIncidentKnowledge(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for trial := 0; trial < 8; trial++ {
 		g := randomConnected(15+rng.Intn(20), 35, rng)
-		res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
-			return domtree.KGreedy(local, u, 2)
-		})
+		res := RunRemSpan(g, 1, kgreedyCSR(2))
 		if bad := CheckIncidentKnowledge(res); bad != -1 {
 			t.Fatalf("trial %d: node %d missing incident knowledge", trial, bad)
+		}
+		ref := RunRemSpanReference(g, 1, func(local *graph.Graph, u int) *graph.Tree {
+			return domtree.KGreedy(local, u, 2)
+		})
+		if bad := CheckIncidentKnowledge(ref); bad != -1 {
+			t.Fatalf("trial %d: reference node %d missing incident knowledge", trial, bad)
 		}
 	}
 }
 
 func TestConstantRounds(t *testing.T) {
-	// Rounds must not grow with n — the paper's headline claim.
+	// Rounds must not grow with n — the paper's headline claim. Pinned
+	// per builder family in TestRoundsFormula; this is the UDG workload.
 	rng := rand.New(rand.NewSource(5))
 	var rounds []int
 	for _, n := range []int{20, 60, 140} {
@@ -142,9 +185,7 @@ func TestConstantRounds(t *testing.T) {
 		if g.N() < 5 {
 			t.Skip("degenerate UDG")
 		}
-		res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
-			return domtree.KGreedy(local, u, 1)
-		})
+		res := RunRemSpan(g, 1, kgreedyCSR(1))
 		rounds = append(rounds, res.Rounds)
 	}
 	for _, r := range rounds {
@@ -160,9 +201,7 @@ func TestRemSpanCheaperThanFullLinkState(t *testing.T) {
 	g := geom.UnitDiskGraph(pts, 1.0)
 	keep, _ := graph.LargestComponent(g)
 	g = g.InducedSubgraph(keep)
-	res := RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
-		return domtree.KGreedy(local, u, 1)
-	})
+	res := RunRemSpan(g, 1, kgreedyCSR(1))
 	_, fullWords := FullLinkState(g)
 	if res.Words >= fullWords {
 		t.Fatalf("RemSpan words %d not below full link-state %d", res.Words, fullWords)
@@ -171,17 +210,23 @@ func TestRemSpanCheaperThanFullLinkState(t *testing.T) {
 
 func TestTreeFloodReachesAllMembers(t *testing.T) {
 	// Every tree edge endpoint lies within the flooding radius of the
-	// root, so the Incident sets must cover the entire union H.
+	// root (the engine's depth invariant), so the per-node incident
+	// knowledge must cover the entire union H — which is exactly what
+	// CheckIncidentKnowledge reconstructs from the flood structure.
 	rng := rand.New(rand.NewSource(7))
 	g := randomConnected(25, 50, rng)
-	res := RunRemSpan(g, 2, func(local *graph.Graph, u int) *graph.Tree {
+	res := RunRemSpan(g, 2, kmisCSR(2))
+	if bad := CheckIncidentKnowledge(res); bad != -1 {
+		t.Fatalf("node %d lacks incident knowledge", bad)
+	}
+	ref := RunRemSpanReference(g, 2, func(local *graph.Graph, u int) *graph.Tree {
 		return domtree.KMIS(local, u, 2)
 	})
 	union := graph.NewEdgeSet(g.N())
-	for _, inc := range res.Incident {
+	for _, inc := range ref.incident {
 		union.Union(inc)
 	}
-	if union.Len() != res.H.Len() {
-		t.Fatalf("incident union %d edges, spanner %d", union.Len(), res.H.Len())
+	if union.Len() != ref.H.Len() {
+		t.Fatalf("incident union %d edges, spanner %d", union.Len(), ref.H.Len())
 	}
 }

@@ -1,0 +1,533 @@
+package distsim
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"remspan/internal/domtree"
+	"remspan/internal/dynamic"
+	"remspan/internal/graph"
+)
+
+// TreeBuilder builds the dominating tree for a root on a graph.View —
+// the production domtree *CSR builders. The engine hands each builder
+// the ball-extracted local view of its root (what the node learned from
+// flooding), so the build is exactly the node-local computation of
+// Algorithm 3; the locality contract guarantees it equals the
+// centralized result (pinned by FuzzDistsimEquivalence). The signature
+// matches dynamic.TreeBuilder, so dynamic.Builders() parameterizes both
+// pipelines.
+type TreeBuilder func(c graph.View, s *domtree.Scratch, u int) *graph.Tree
+
+// Result summarizes a RemSpan run (either engine). A fast-engine
+// Result shares the engine's tree storage and topology view rather
+// than copying them, so it — in particular CheckIncidentKnowledge on
+// it — is valid only until the engine's next Run or Reflood (H and
+// TreeEdges are snapshots and stay valid). RunRemSpan results are
+// never invalidated: the helper's engine is not retained.
+type Result struct {
+	Rounds    int            // total synchronous rounds: 2(r−1+β)+1
+	Messages  int64          // point-to-point messages sent
+	Words     int64          // total payload words sent
+	H         *graph.EdgeSet // the computed remote-spanner (union of trees)
+	TreeEdges []int          // per-root tree sizes
+
+	// Fast-engine state for incident-knowledge verification.
+	view   graph.View
+	radius int
+	trees  [][]int32 // per-root (child, parent) pairs
+
+	// Reference-engine state: per node, the spanner edges it learned it
+	// belongs to, gathered message by message.
+	incident []*graph.EdgeSet
+}
+
+// engineWorker is the per-goroutine state of the fan-out passes: ball
+// extraction, tree construction, bounded traffic sweeps and local
+// message/word tallies, merged once per pass.
+type engineWorker struct {
+	ball    *graph.BallScratch
+	scratch *domtree.Scratch
+	bfs     *graph.BFSScratch
+	treeBuf []int32
+	msgs    int64
+	words   int64
+}
+
+func newEngineWorker(n int) *engineWorker {
+	return &engineWorker{
+		ball:    graph.NewBallScratch(n),
+		scratch: domtree.NewScratch(n),
+		bfs:     graph.NewBFSScratch(n),
+	}
+}
+
+// Engine is the allocation-conscious RemSpan simulation engine: flat
+// per-root tree storage, pooled per-worker scratch (ball sub-CSR
+// extraction, domtree scratch, bounded-BFS traffic sweeps), and a
+// patched CSRDelta view of the live topology. A fresh engine runs the
+// full protocol (Run); a live network then feeds it topology diffs
+// (Reflood) and only the dirty roots recompute and re-advertise.
+//
+// Traffic is not counted by materializing messages: synchronous
+// flooding with duplicate suppression is fully determined by the ball
+// structure — node u forwards the neighbor list (and later the tree) of
+// every source within distance R−1 exactly once — so the per-node
+// tallies are computed from bounded BFS sweeps. The message-level
+// reference engine (RunRemSpanReference) pins the equality.
+type Engine struct {
+	g      *graph.Graph    // mutable mirror (dirty sweeps, API reads)
+	delta  *graph.CSRDelta // patched snapshot the builders and sweeps read
+	base   *graph.CSR      // the initial snapshot (EdgeMarks fast path)
+	radius int
+	build  TreeBuilder
+
+	trees   [][]int32 // per-root (child, parent) pairs, capacity reused
+	dirty   *graph.BFSScratch
+	workers []*engineWorker
+	patched bool // any change applied since the base snapshot
+
+	// Reusable live-tick state.
+	readv      []int32 // vertices whose adjacency changed this tick
+	readvMark  []uint32
+	readvEpoch uint32
+	refloods   []int32 // dirty roots whose tree actually changed
+	changedBuf []bool  // per-dirty-root rebuild results, capacity reused
+}
+
+// NewEngine returns an engine over a clone of g. radius is the
+// protocol's flooding radius R = r−1+β.
+func NewEngine(g *graph.Graph, radius int, build TreeBuilder) *Engine {
+	if radius < 1 {
+		panic("distsim: flooding radius must be >= 1")
+	}
+	n := g.N()
+	e := &Engine{
+		g:         g.Clone(),
+		base:      graph.NewCSR(g),
+		radius:    radius,
+		build:     build,
+		trees:     make([][]int32, n),
+		dirty:     graph.NewBFSScratch(n),
+		readvMark: make([]uint32, n),
+	}
+	e.delta = graph.NewCSRDelta(e.base)
+	return e
+}
+
+// Graph returns the engine's current topology (do not mutate directly —
+// feed changes through Reflood).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Radius returns the flooding radius R.
+func (e *Engine) Radius() int { return e.radius }
+
+// TreeOf returns root u's current tree as flat (child, parent) pairs
+// (shared slice, valid until the next Run/Reflood).
+func (e *Engine) TreeOf(u int) []int32 { return e.trees[u] }
+
+// Spanner materializes the current union-of-trees spanner.
+func (e *Engine) Spanner() *graph.EdgeSet {
+	es := graph.NewEdgeSet(e.g.N())
+	for _, pairs := range e.trees {
+		for i := 0; i+1 < len(pairs); i += 2 {
+			es.Add(int(pairs[i]), int(pairs[i+1]))
+		}
+	}
+	return es
+}
+
+func (e *Engine) ensureWorkers(k int) []*engineWorker {
+	for len(e.workers) < k {
+		e.workers = append(e.workers, newEngineWorker(e.g.N()))
+	}
+	return e.workers[:k]
+}
+
+// workerCount sizes a fan-out over jobs roots: serial below the batch
+// threshold (the dynamic.ApplyBatch pattern), one worker per core
+// otherwise.
+func workerCount(jobs int) int {
+	const parallelThreshold = 32
+	if jobs < parallelThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// fanOut runs job(worker, index) for every index in [0, jobs) across
+// the engine's worker pool, serially when the batch is small.
+func (e *Engine) fanOut(jobs int, job func(w *engineWorker, i int)) {
+	nw := workerCount(jobs)
+	workers := e.ensureWorkers(nw)
+	if nw == 1 {
+		w := workers[0]
+		for i := 0; i < jobs; i++ {
+			job(w, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for _, w := range workers {
+		go func(w *engineWorker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				job(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// rebuildRoot recomputes root u's tree from its ball-extracted local
+// view and stores the (child, parent) pairs in global ids, reporting
+// whether the tree changed. The depth check enforces the protocol
+// invariant the tree-flooding accounting and incident-knowledge
+// argument rest on: a flooded tree never outgrows the flooding radius.
+func (w *engineWorker) rebuildRoot(e *Engine, u int) bool {
+	local, root, members := w.ball.Extract(e.delta, u, e.radius)
+	t := e.build(local, w.scratch, root)
+	buf := w.treeBuf[:0]
+	for _, lv := range t.Nodes() {
+		if int(t.Depth(int(lv))) > e.radius {
+			panic(fmt.Sprintf("distsim: tree of root %d deeper than flooding radius %d", u, e.radius))
+		}
+		if lp := t.Parent(int(lv)); lp >= 0 {
+			buf = append(buf, members[lv], members[lp])
+		}
+	}
+	w.treeBuf = buf
+	if slices.Equal(buf, e.trees[u]) {
+		return false
+	}
+	e.trees[u] = append(e.trees[u][:0], buf...)
+	return true
+}
+
+// tallyRoot adds node u's share of the protocol traffic: one hello
+// broadcast, plus one forward of the neighbor list and one of the tree
+// of every source within distance R−1 (the sources u has learned by the
+// round it still has forwarding rounds left for — synchronous flooding
+// with duplicate suppression forwards each item exactly once).
+func (w *engineWorker) tallyRoot(e *Engine, u int) {
+	degU := int64(e.delta.Degree(u))
+	if degU == 0 {
+		return
+	}
+	w.msgs += degU      // hello broadcast
+	w.words += 3 * degU // [id] + 2 framing words
+	if e.radius == 1 {
+		// B(u, 0) = {u}: forward own list and own tree only.
+		w.msgs += 2 * degU
+		w.words += degU * (degU + 4)
+		w.words += degU * (2*int64(len(e.trees[u])/2) + 4)
+		return
+	}
+	_, _, visited := w.bfs.BoundedView(e.delta, u, e.radius-1)
+	for _, src := range visited {
+		w.msgs += 2 * degU
+		w.words += degU * (int64(e.delta.Degree(int(src))) + 4)
+		w.words += degU * (2*int64(len(e.trees[src])/2) + 4)
+	}
+}
+
+// Run executes the full protocol on the current topology: every root
+// recomputes its tree from its flooded local view, the spanner is the
+// union, and the traffic of the hello round, R topology-flooding rounds
+// and R tree-flooding rounds is tallied. Rounds = 2R+1 independent of
+// the graph — the paper's headline claim.
+func (e *Engine) Run() *Result {
+	n := e.g.N()
+	e.fanOut(n, func(w *engineWorker, u int) {
+		w.rebuildRoot(e, u)
+	})
+	for _, w := range e.workers {
+		w.msgs, w.words = 0, 0
+	}
+	e.fanOut(n, func(w *engineWorker, u int) {
+		w.tallyRoot(e, u)
+	})
+	res := &Result{
+		Rounds:    2*e.radius + 1,
+		H:         e.spannerSet(),
+		TreeEdges: make([]int, n),
+		view:      e.delta,
+		radius:    e.radius,
+		trees:     e.trees,
+	}
+	for u := 0; u < n; u++ {
+		res.TreeEdges[u] = len(e.trees[u]) / 2
+	}
+	for _, w := range e.workers {
+		res.Messages += w.msgs
+		res.Words += w.words
+	}
+	return res
+}
+
+// spannerSet unions the trees — via allocation-free CSR edge marks
+// while the engine still sits on its base snapshot, via the edge set
+// directly once the topology has been patched.
+func (e *Engine) spannerSet() *graph.EdgeSet {
+	if e.patched {
+		return e.Spanner()
+	}
+	marks := graph.NewEdgeMarks(e.base)
+	for _, pairs := range e.trees {
+		for i := 0; i+1 < len(pairs); i += 2 {
+			marks.Add(int(pairs[i]), int(pairs[i+1]))
+		}
+	}
+	return marks.EdgeSet()
+}
+
+// RunRemSpan executes Algorithm 3 on every node of g simultaneously
+// with the fast engine:
+//
+//	round 1:            hello — send own id on every link
+//	rounds 2..R+1:      flood neighbor lists to radius R = r−1+β
+//	(local)             compute the dominating tree from the local view
+//	rounds R+2..2R+1:   flood the tree to radius R
+//
+// The returned spanner is the union of all trees; it equals the
+// centralized construction because the tree builders are local, and
+// the traffic tallies equal the message-level reference engine
+// (RunRemSpanReference) — both pinned by tests.
+func RunRemSpan(g *graph.Graph, radius int, build TreeBuilder) *Result {
+	return NewEngine(g, radius, build).Run()
+}
+
+// CheckIncidentKnowledge verifies the protocol's correctness condition:
+// every node ends up knowing exactly the spanner edges incident to it,
+// so it can advertise/route over them. For the fast engine the learned
+// set is reconstructed from the flood structure (node u hears the trees
+// of every root within distance R); the reference engine gathered it
+// message by message. Returns the first offending node (-1 when the
+// condition holds).
+func CheckIncidentKnowledge(res *Result) int {
+	if res.incident != nil {
+		return checkIncidentReference(res)
+	}
+	hg := res.H.Graph()
+	n := hg.N()
+	bfs := graph.NewBFSScratch(n)
+	var heard []int32
+	for u := 0; u < n; u++ {
+		_, _, roots := bfs.BoundedView(res.view, u, res.radius)
+		heard = heard[:0]
+		for _, w := range roots {
+			for pairs, i := res.trees[w], 0; i+1 < len(pairs); i += 2 {
+				a, b := pairs[i], pairs[i+1]
+				switch {
+				case int(a) == u:
+					heard = append(heard, b)
+				case int(b) == u:
+					heard = append(heard, a)
+				}
+			}
+		}
+		slices.Sort(heard)
+		heard = slices.Compact(heard)
+		if !slices.Equal(heard, hg.Neighbors(u)) {
+			return u
+		}
+	}
+	return -1
+}
+
+func checkIncidentReference(res *Result) int {
+	h := res.H
+	for u, inc := range res.incident {
+		// Everything the node learned must be incident and in H.
+		for _, e := range inc.Edges() {
+			if int(e[0]) != u && int(e[1]) != u {
+				return u
+			}
+			if !h.Has(int(e[0]), int(e[1])) {
+				return u
+			}
+		}
+		// Every incident spanner edge must have been learned.
+		for _, e := range h.Edges() {
+			if int(e[0]) == u || int(e[1]) == u {
+				if !inc.Has(int(e[0]), int(e[1])) {
+					return u
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// FullLinkState returns the message/word cost of classic full
+// link-state flooding (every node floods its neighbor list to the
+// entire network, OSPF-style) for comparison: every node retransmits
+// every list once.
+func FullLinkState(v graph.View) (messages, words int64) {
+	n := v.N()
+	twoM := int64(2 * v.M())
+	// Hello round.
+	messages = twoM
+	words = twoM * 3
+	// Each of the n lists is retransmitted by every node on every link.
+	messages += int64(n) * twoM
+	for src := 0; src < n; src++ {
+		words += twoM * int64(v.Degree(src)+4)
+	}
+	return messages, words
+}
+
+// TickStats reports one live re-advertisement tick.
+type TickStats struct {
+	Applied    int   // topology changes that had an effect
+	DirtyRoots int   // roots whose radius-R ball the changes touched
+	Refloods   int   // dirty roots whose tree actually changed
+	Messages   int64 // incremental RemSpan re-advertisement messages
+	Words      int64 // incremental RemSpan re-advertisement words
+	FullMsgs   int64 // full link-state re-flood of the same changes
+	FullWords  int64
+}
+
+// beginTick starts a new epoch of the changed-vertex accumulator.
+func (e *Engine) beginTick() {
+	if e.readvEpoch >= 1<<31 {
+		for i := range e.readvMark {
+			e.readvMark[i] = 0
+		}
+		e.readvEpoch = 0
+	}
+	e.readvEpoch++
+	e.readv = e.readv[:0]
+	e.refloods = e.refloods[:0]
+}
+
+func (e *Engine) noteReadv(x int) {
+	if e.readvMark[x] != e.readvEpoch {
+		e.readvMark[x] = e.readvEpoch
+		e.readv = append(e.readv, int32(x))
+	}
+}
+
+// Reflood applies a batch of topology changes and simulates the
+// incremental re-advertisement a live RemSpan deployment performs:
+// vertices whose adjacency changed re-flood their neighbor lists to
+// radius R, and the dirty roots — accumulated by the exact radius-R
+// (R+1 for vertex failures) dirty-ball rule of dynamic.ApplyChange —
+// recompute their trees from their refreshed local views and re-flood
+// only the trees that changed. Non-dirty roots keep their trees by the
+// locality argument, so after every tick the engine's spanner is
+// bit-identical to a full recomputation (pinned against
+// dynamic.Maintainer ground truth in tests).
+//
+// The FullMsgs/FullWords fields carry the comparison arm: an OSPF-style
+// protocol re-floods each changed vertex's link-state advertisement
+// through the entire network.
+func (e *Engine) Reflood(changes []dynamic.Change) TickStats {
+	e.beginTick()
+	e.dirty.ResetUnion()
+	var st TickStats
+	for _, ch := range changes {
+		if ch.Kind == dynamic.FailVertex {
+			// Capture the pre-change neighborhood: those vertices lose a
+			// link and must re-advertise too.
+			for _, v := range e.g.Neighbors(ch.U) {
+				e.noteReadv(int(v))
+			}
+		}
+		if dynamic.ApplyChange(e.g, e.delta, e.dirty, e.radius, ch) {
+			st.Applied++
+			e.noteReadv(ch.U)
+			if ch.Kind != dynamic.FailVertex {
+				e.noteReadv(ch.V)
+			}
+		}
+	}
+	if st.Applied == 0 {
+		return st
+	}
+	e.patched = true
+
+	roots := e.dirty.UnionSorted()
+	st.DirtyRoots = len(roots)
+	if workerCount(len(roots)) == 1 {
+		// Direct loop — the steady-state zero-allocation path (even the
+		// fan-out closure would allocate; pinned by TestEngineTickZeroAlloc).
+		w := e.ensureWorkers(1)[0]
+		for _, u := range roots {
+			if w.rebuildRoot(e, int(u)) {
+				e.refloods = append(e.refloods, u)
+			}
+		}
+	} else {
+		// changed is written per index by exactly one fan-out worker
+		// (the atomic counter hands each index out once) and read only
+		// after the barrier, so plain bools in a reusable engine-owned
+		// buffer suffice. Large ticks allocate only the fan-out's
+		// goroutine startup — never anything proportional to n.
+		if cap(e.changedBuf) < len(roots) {
+			e.changedBuf = make([]bool, len(roots))
+		}
+		changed := e.changedBuf[:len(roots)]
+		e.fanOut(len(roots), func(w *engineWorker, i int) {
+			changed[i] = w.rebuildRoot(e, int(roots[i]))
+		})
+		for i, u := range roots {
+			if changed[i] {
+				e.refloods = append(e.refloods, u)
+			}
+		}
+	}
+	st.Refloods = len(e.refloods)
+
+	// Traffic. Incremental RemSpan: changed vertices hello + re-flood
+	// their lists to radius R; changed trees re-flood to radius R. Full
+	// link-state: every changed vertex's LSA re-floods network-wide.
+	w := e.ensureWorkers(1)[0]
+	twoM := int64(2 * e.delta.M())
+	for _, x := range e.readv {
+		degX := int64(e.delta.Degree(int(x)))
+		st.Messages += degX // hello broadcast on the new links
+		st.Words += 3 * degX
+		fm, fw := e.floodCost(w, int(x), degX+4)
+		st.Messages += fm
+		st.Words += fw
+		st.FullMsgs += degX + twoM
+		st.FullWords += 3*degX + twoM*(degX+4)
+	}
+	for _, u := range e.refloods {
+		fm, fw := e.floodCost(w, int(u), 2*int64(len(e.trees[u])/2)+4)
+		st.Messages += fm
+		st.Words += fw
+	}
+	return st
+}
+
+// floodCost returns the cost of flooding one payload of the given word
+// count (framing included) from src to radius R: every node within
+// distance R−1 retransmits it once on all its links.
+func (e *Engine) floodCost(w *engineWorker, src int, payload int64) (msgs, words int64) {
+	if e.radius == 1 {
+		d := int64(e.delta.Degree(src))
+		return d, d * payload
+	}
+	_, _, visited := w.bfs.BoundedView(e.delta, src, e.radius-1)
+	for _, y := range visited {
+		d := int64(e.delta.Degree(int(y)))
+		msgs += d
+		words += d * payload
+	}
+	return msgs, words
+}

@@ -1,0 +1,286 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/domtree"
+	"remspan/internal/dynamic"
+	"remspan/internal/gen"
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+)
+
+// centralizedSpanner is the ground-truth union-of-trees construction on
+// one global CSR snapshot.
+func centralizedSpanner(g *graph.Graph, build TreeBuilder) *graph.EdgeSet {
+	es := graph.NewEdgeSet(g.N())
+	c := graph.NewCSR(g)
+	s := domtree.NewScratch(g.N())
+	for u := 0; u < g.N(); u++ {
+		es.AddTree(build(c, s, u))
+	}
+	return es
+}
+
+func edgeSetsEqual(a, b *graph.EdgeSet) bool { return a.Equal(b) }
+
+// testFamilies are the generator families the differential tests sweep:
+// UDG, Erdős–Rényi, grid and star — connected and disconnected.
+func testFamilies(n int, seed int64) map[string]*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	udg := geom.UnitDiskGraph(geom.UniformBox(n, 2, 4, rng), 1.0)
+	er := gen.ErdosRenyi(n, 3/float64(n), rng)      // typically disconnected
+	erDense := gen.ErdosRenyi(n, 8/float64(n), rng) // mostly connected
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return map[string]*graph.Graph{
+		"udg":      udg, // disconnected stragglers are part of the workload
+		"er":       er,
+		"er-dense": erDense,
+		"grid":     gen.Grid(side, (n+side-1)/side),
+		"star":     gen.Star(n),
+	}
+}
+
+// TestEngineMatchesReference is the engine-level differential: on every
+// family and for every production builder, the fast engine must agree
+// with the message-level reference on rounds, messages, words and the
+// spanner itself — the ball-structure traffic accounting is exact, not
+// an estimate.
+func TestEngineMatchesReference(t *testing.T) {
+	for fam, g := range testFamilies(48, 11) {
+		for _, p := range enginePairs() {
+			fast := RunRemSpan(g, p.radius, p.build)
+			ref := RunRemSpanReference(g, p.radius, p.algo)
+			if fast.Rounds != ref.Rounds {
+				t.Fatalf("%s/%s: rounds %d vs %d", fam, p.name, fast.Rounds, ref.Rounds)
+			}
+			if fast.Messages != ref.Messages {
+				t.Fatalf("%s/%s: messages %d vs %d", fam, p.name, fast.Messages, ref.Messages)
+			}
+			if fast.Words != ref.Words {
+				t.Fatalf("%s/%s: words %d vs %d", fam, p.name, fast.Words, ref.Words)
+			}
+			if !edgeSetsEqual(fast.H, ref.H) {
+				t.Fatalf("%s/%s: spanners differ (%d vs %d edges)",
+					fam, p.name, fast.H.Len(), ref.H.Len())
+			}
+			for u := range fast.TreeEdges {
+				if fast.TreeEdges[u] != ref.TreeEdges[u] {
+					t.Fatalf("%s/%s: tree size of root %d differs: %d vs %d",
+						fam, p.name, u, fast.TreeEdges[u], ref.TreeEdges[u])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundsFormula pins the paper's "constant time" claim as a
+// property: Rounds == 2(r−1+β)+1 = 2R+1 for every builder family,
+// independent of n and of the graph family.
+func TestRoundsFormula(t *testing.T) {
+	for _, n := range []int{24, 96, 240} {
+		for fam, g := range testFamilies(n, int64(n)) {
+			for _, p := range enginePairs() {
+				res := RunRemSpan(g, p.radius, p.build)
+				if want := 2*p.radius + 1; res.Rounds != want {
+					t.Fatalf("%s/%s n=%d: rounds=%d, want %d", fam, p.name, n, res.Rounds, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWordsBelowFullLinkState pins the advertisement-economy claim:
+// above a small n, RemSpan's total words stay below full link-state
+// flooding on the sparse bounded-degree families the paper targets.
+func TestWordsBelowFullLinkState(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{100, 256, 500} {
+		side := 1
+		for side*side < n {
+			side++
+		}
+		workloads := map[string]*graph.Graph{
+			"udg":  geom.UnitDiskGraph(geom.UniformBox(n, 2, 6, rng), 1.0),
+			"grid": gen.Grid(side, (n+side-1)/side),
+		}
+		for fam, g := range workloads {
+			for _, p := range enginePairs() {
+				res := RunRemSpan(g, p.radius, p.build)
+				_, fullWords := FullLinkState(g)
+				if res.Words > fullWords {
+					t.Fatalf("%s/%s n=%d: RemSpan words %d exceed full link-state %d",
+						fam, p.name, n, res.Words, fullWords)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDistsimEquivalence: RunRemSpan over every gen family (UDG, ER,
+// grid, star — connected and disconnected) must produce an edge set
+// identical to the centralized CSR builders for all four tree
+// algorithms, with full incident knowledge at every node, and agree
+// with the message-level reference engine on traffic.
+func FuzzDistsimEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(42), uint8(2))
+	f.Add(int64(99), uint8(3))
+	f.Add(int64(1234), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, famSel uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(16)
+		var g *graph.Graph
+		switch famSel % 5 {
+		case 0:
+			g = geom.UnitDiskGraph(geom.UniformBox(n, 2, 3, rng), 1.0)
+		case 1:
+			g = gen.ErdosRenyi(n, 2.5/float64(n), rng) // disconnected
+		case 2:
+			g = gen.ErdosRenyi(n, 8/float64(n), rng)
+		case 3:
+			g = gen.Grid(3+rng.Intn(4), 3+rng.Intn(4))
+		default:
+			g = gen.Star(n)
+		}
+		for _, p := range enginePairs() {
+			fast := RunRemSpan(g, p.radius, p.build)
+			if want := centralizedSpanner(g, p.build); !edgeSetsEqual(fast.H, want) {
+				t.Fatalf("%s: distributed spanner differs from centralized (%d vs %d edges)",
+					p.name, fast.H.Len(), want.Len())
+			}
+			if bad := CheckIncidentKnowledge(fast); bad != -1 {
+				t.Fatalf("%s: node %d missing incident knowledge", p.name, bad)
+			}
+			ref := RunRemSpanReference(g, p.radius, p.algo)
+			if fast.Messages != ref.Messages || fast.Words != ref.Words || fast.Rounds != ref.Rounds {
+				t.Fatalf("%s: traffic diverged from reference: (%d,%d,%d) vs (%d,%d,%d)",
+					p.name, fast.Messages, fast.Words, fast.Rounds,
+					ref.Messages, ref.Words, ref.Rounds)
+			}
+		}
+	})
+}
+
+// TestRefloodMatchesMaintainer drives the engine through random change
+// batches and pins every intermediate spanner — and every per-root
+// tree — against dynamic.Maintainer ground truth.
+func TestRefloodMatchesMaintainer(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, spec := range dynamic.Builders() {
+		g := randomConnected(40, 70, rng)
+		e := NewEngine(g, spec.Radius, TreeBuilder(spec.Build))
+		e.Run()
+		m := dynamic.New(g, spec.Radius, spec.Build)
+		for step := 0; step < 12; step++ {
+			batch := make([]dynamic.Change, 0, 6)
+			for len(batch) < cap(batch) {
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				if u == v {
+					continue
+				}
+				kind := dynamic.AddEdge
+				if e.Graph().HasEdge(u, v) {
+					kind = dynamic.RemoveEdge
+				}
+				if rng.Intn(8) == 0 {
+					kind = dynamic.FailVertex
+				}
+				batch = append(batch, dynamic.Change{Kind: kind, U: u, V: v})
+			}
+			st := e.Reflood(batch)
+			m.ApplyBatch(batch)
+			if !edgeSetsEqual(e.Spanner(), m.Spanner()) {
+				t.Fatalf("%s step %d: engine spanner diverged from maintainer", spec.Name, step)
+			}
+			for u := 0; u < g.N(); u++ {
+				pairs, want := e.TreeOf(u), m.TreeOf(u)
+				if len(pairs) != 2*len(want) {
+					t.Fatalf("%s step %d root %d: tree size %d vs %d",
+						spec.Name, step, u, len(pairs)/2, len(want))
+				}
+				for i, p := range want {
+					if pairs[2*i] != p[0] || pairs[2*i+1] != p[1] {
+						t.Fatalf("%s step %d root %d: tree edge %d differs", spec.Name, step, u, i)
+					}
+				}
+			}
+			if st.Applied > 0 && st.DirtyRoots == 0 {
+				t.Fatalf("%s step %d: applied %d changes but no dirty roots", spec.Name, step, st.Applied)
+			}
+		}
+	}
+}
+
+// TestRefloodTrafficSanity: a tick that changes nothing costs nothing;
+// a tick that applies changes re-advertises something, and the full
+// link-state baseline is never cheaper than the incremental path on a
+// non-trivial network.
+func TestRefloodTrafficSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomConnected(120, 240, rng)
+	e := NewEngine(g, 1, kgreedyCSR(1))
+	e.Run()
+
+	st := e.Reflood([]dynamic.Change{{Kind: dynamic.RemoveEdge, U: 0, V: 0}})
+	if st.Applied != 0 || st.Messages != 0 || st.Words != 0 || st.DirtyRoots != 0 {
+		t.Fatalf("no-op tick produced traffic: %+v", st)
+	}
+
+	u, v := 0, 1
+	for g.HasEdge(u, v) {
+		v++
+	}
+	st = e.Reflood([]dynamic.Change{{Kind: dynamic.AddEdge, U: u, V: v}})
+	if st.Applied != 1 || st.Words == 0 || st.DirtyRoots == 0 {
+		t.Fatalf("effective tick produced no traffic: %+v", st)
+	}
+	if st.FullWords < st.Words {
+		t.Fatalf("full link-state re-flood (%d words) cheaper than incremental (%d)",
+			st.FullWords, st.Words)
+	}
+}
+
+// TestEngineTickZeroAlloc pins the allocation-free steady state of the
+// live path: toggling an edge on a warm engine — dirty sweeps, ball
+// extraction, tree rebuilds, re-advertisement accounting — must not
+// allocate at all.
+func TestEngineTickZeroAlloc(t *testing.T) {
+	g := gen.Grid(40, 50) // n=2000
+	e := NewEngine(g, 1, kgreedyCSR(1))
+	e.Run()
+	add := []dynamic.Change{{Kind: dynamic.AddEdge, U: 0, V: 41}}
+	del := []dynamic.Change{{Kind: dynamic.RemoveEdge, U: 0, V: 41}}
+	for i := 0; i < 4; i++ { // warm delta rows, tree buffers, sweeps
+		e.Reflood(add)
+		e.Reflood(del)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		e.Reflood(add)
+		e.Reflood(del)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state tick allocates %.1f times per toggle pair", allocs)
+	}
+}
+
+// TestBallDepthInvariant: the engine panics if a builder emits a tree
+// deeper than the flooding radius (the protocol could not deliver it).
+func TestBallDepthInvariant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tree deeper than flooding radius")
+		}
+	}()
+	// MIS with r=3 needs flooding radius 3; radius 2 must be rejected.
+	// The gadget forces a depth-3 tree member at root 0: b1 (id 2) joins
+	// the MIS first and removes b2, leaving c uncovered until its own
+	// turn — added via the depth-3 path 0–1–3–4.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	RunRemSpan(g, 2, misCSR(3))
+}

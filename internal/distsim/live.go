@@ -1,0 +1,87 @@
+package distsim
+
+import (
+	"math"
+	"math/rand"
+
+	"remspan/internal/dynamic"
+	"remspan/internal/mobility"
+)
+
+// LiveConfig parameterizes a live-network run: a random-waypoint fleet
+// on a square sized for the target mean unit-disk degree (connection
+// radius 1), with the RemSpan protocol re-advertising incrementally
+// after every mobility tick.
+type LiveConfig struct {
+	N                  int
+	Degree             float64 // target mean UDG degree (sets side = √(πN/Degree))
+	MinSpeed, MaxSpeed float64 // distance per tick, in units of the connection radius
+	Ticks              int
+	Seed               int64
+	Radius             int // flooding radius R = r−1+β of the construction
+	Build              TreeBuilder
+}
+
+// LiveReport aggregates a live run: the cold-start full advertisement
+// plus per-tick incremental re-advertisement totals against the full
+// link-state re-flood baseline.
+type LiveReport struct {
+	Initial    *Result // the cold-start full protocol run
+	Ticks      int
+	Changes    int64 // topology changes applied across all ticks
+	DirtyRoots int64
+	Refloods   int64
+	Messages   int64 // incremental RemSpan re-advertisement traffic
+	Words      int64
+	FullMsgs   int64 // full link-state re-flood of the same change stream
+	FullWords  int64
+	PerTick    []TickStats
+}
+
+// LiveRun drives a mobile network: each tick the waypoint model moves
+// every node, the unit-disk tracker emits the edge diff, and the engine
+// refloods — only dirty roots recompute, only changed trees re-
+// advertise. observe (optional) is called after every tick with the
+// tick's change batch (valid during the call) and the engine, so tests
+// pin each tick's spanner against dynamic.Maintainer ground truth and
+// experiments sample protocol state mid-flight.
+func LiveRun(cfg LiveConfig, observe func(tick int, changes []dynamic.Change, e *Engine)) *LiveReport {
+	if cfg.N < 2 || cfg.Ticks < 0 || cfg.Degree <= 0 {
+		panic("distsim: bad live config")
+	}
+	side := math.Sqrt(math.Pi * float64(cfg.N) / cfg.Degree)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := mobility.NewWaypoint(cfg.N, side, cfg.MinSpeed, cfg.MaxSpeed, rng)
+	tr := mobility.NewTracker(w, 1.0)
+
+	e := NewEngine(tr.Graph(), cfg.Radius, cfg.Build)
+	rep := &LiveReport{
+		Initial: e.Run(),
+		Ticks:   cfg.Ticks,
+		PerTick: make([]TickStats, 0, cfg.Ticks),
+	}
+	changes := make([]dynamic.Change, 0, 256)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		added, removed := tr.Tick()
+		changes = changes[:0]
+		for _, p := range removed {
+			changes = append(changes, dynamic.Change{Kind: dynamic.RemoveEdge, U: int(p[0]), V: int(p[1])})
+		}
+		for _, p := range added {
+			changes = append(changes, dynamic.Change{Kind: dynamic.AddEdge, U: int(p[0]), V: int(p[1])})
+		}
+		st := e.Reflood(changes)
+		rep.Changes += int64(st.Applied)
+		rep.DirtyRoots += int64(st.DirtyRoots)
+		rep.Refloods += int64(st.Refloods)
+		rep.Messages += st.Messages
+		rep.Words += st.Words
+		rep.FullMsgs += st.FullMsgs
+		rep.FullWords += st.FullWords
+		rep.PerTick = append(rep.PerTick, st)
+		if observe != nil {
+			observe(tick, changes, e)
+		}
+	}
+	return rep
+}

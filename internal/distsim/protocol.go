@@ -6,21 +6,13 @@ import (
 
 // TreeAlgo computes a dominating tree for root u from u's local
 // topology knowledge (the adjacency lists of every node within the
-// flooding radius). The tree algorithms of package domtree satisfy the
-// locality contract: they only query adjacency inside that ball.
+// flooding radius), materialized as a mutable graph — the map-based
+// reference builders of package domtree satisfy the locality contract.
+// It parameterizes the message-level reference engine and the
+// asynchronous executor; the fast engine takes a TreeBuilder instead.
 type TreeAlgo func(local *graph.Graph, u int) *graph.Tree
 
-// Result summarizes a distributed RemSpan run.
-type Result struct {
-	Rounds    int              // total synchronous rounds: 2(r−1+β)+1
-	Messages  int64            // point-to-point messages sent
-	Words     int64            // total payload words sent
-	H         *graph.EdgeSet   // the computed remote-spanner (union of trees)
-	TreeEdges []int            // per-root tree sizes
-	Incident  []*graph.EdgeSet // per node: spanner edges it learned it belongs to
-}
-
-// nodeState is the per-node protocol state of RemSpan.
+// nodeState is the per-node protocol state of the reference engine.
 type nodeState struct {
 	id        int
 	neighbors []int32            // learned in the hello round
@@ -31,16 +23,15 @@ type nodeState struct {
 	incident  *graph.EdgeSet     // spanner edges this node learned it is part of
 }
 
-// RunRemSpan executes Algorithm 3 on every node of g simultaneously:
-//
-//	round 1:            hello — send own id on every link
-//	rounds 2..R+1:      flood neighbor lists to radius R = r−1+β
-//	(local)             compute the dominating tree from the local view
-//	rounds R+2..2R+1:   flood the tree to radius R
-//
-// The returned spanner is the union of all trees; it equals the
-// centralized construction because the tree algorithms are local.
-func RunRemSpan(g *graph.Graph, radius int, algo TreeAlgo) *Result {
+// RunRemSpanReference executes Algorithm 3 message by message: every
+// payload is materialized, enqueued on the synchronous Sim runtime and
+// delivered at the next round boundary, with per-node map state exactly
+// as a naive implementation would keep it. It is the semantic reference
+// the fast engine's ball-structure traffic accounting and tree results
+// are pinned against (rounds, messages, words and the spanner must all
+// agree — TestEngineMatchesReference and FuzzDistsimEquivalence), and
+// it is the ablation baseline of the distsim benchmark suite.
+func RunRemSpanReference(g *graph.Graph, radius int, algo TreeAlgo) *Result {
 	if radius < 1 {
 		panic("distsim: flooding radius must be >= 1")
 	}
@@ -163,36 +154,8 @@ func RunRemSpan(g *graph.Graph, radius int, algo TreeAlgo) *Result {
 		Words:     sim.Words,
 		H:         h,
 		TreeEdges: sizes,
-		Incident:  incident,
+		incident:  incident,
 	}
-}
-
-// CheckIncidentKnowledge verifies the protocol's correctness condition:
-// every node ends up knowing exactly the spanner edges incident to it,
-// so it can advertise/route over them. Returns the first offending node
-// (-1 when the condition holds).
-func CheckIncidentKnowledge(res *Result) int {
-	h := res.H
-	for u, inc := range res.Incident {
-		// Everything the node learned must be incident and in H.
-		for _, e := range inc.Edges() {
-			if int(e[0]) != u && int(e[1]) != u {
-				return u
-			}
-			if !h.Has(int(e[0]), int(e[1])) {
-				return u
-			}
-		}
-		// Every incident spanner edge must have been learned.
-		for _, e := range h.Edges() {
-			if int(e[0]) == u || int(e[1]) == u {
-				if !inc.Has(int(e[0]), int(e[1])) {
-					return u
-				}
-			}
-		}
-	}
-	return -1
 }
 
 // noteTree records the spanner edges incident to this node found in a
@@ -205,23 +168,4 @@ func (st *nodeState) noteTree(payload []int32) {
 			st.incident.Add(int(a), int(b))
 		}
 	}
-}
-
-// FullLinkState returns the message/word cost of classic full link-state
-// flooding (every node floods its neighbor list to the entire network,
-// OSPF-style) for comparison: every node retransmits every list once.
-func FullLinkState(g *graph.Graph) (messages, words int64) {
-	n := g.N()
-	// Hello round.
-	messages = int64(2 * g.M())
-	words = int64(2*g.M()) * 3
-	// Each of the n lists is retransmitted by every node on every link.
-	for src := 0; src < n; src++ {
-		payload := int64(g.Degree(src) + 2 + 2)
-		for u := 0; u < n; u++ {
-			messages += int64(g.Degree(u))
-			words += int64(g.Degree(u)) * payload
-		}
-	}
-	return messages, words
 }

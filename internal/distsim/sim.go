@@ -1,11 +1,30 @@
 // Package distsim simulates the paper's distributed setting: a
 // synchronous message-passing network (LOCAL model) in which every node
 // runs Algorithm 3 RemSpan(r, β) — hello round, neighbor-list flooding
-// to radius r−1+β, local dominating-tree computation, and tree
+// to radius R = r−1+β, local dominating-tree computation, and tree
 // flooding. The simulator counts rounds, messages and payload words, so
 // experiments can demonstrate the "constant time for any input graph"
 // claim and measure advertisement cost against full link-state
 // flooding.
+//
+// Two engines implement the protocol (DESIGN.md §3d):
+//
+//   - Engine / RunRemSpan: the production engine. Each node's local
+//     view is extracted into a reusable sub-CSR (graph.BallScratch),
+//     its tree is built by the production domtree *CSR builders on
+//     pooled per-worker scratch, and traffic is tallied from the ball
+//     structure — synchronous flooding with duplicate suppression
+//     forwards each item exactly once per node within distance R−1, so
+//     the counts are exact without materializing a single message. It
+//     also runs live: Reflood applies topology diffs and re-advertises
+//     only dirty roots (LiveRun drives it from the mobility model).
+//   - RunRemSpanReference: the message-level reference — per-node map
+//     state, real payload slices, the Sim round runtime. Differential
+//     tests pin the engines against each other on rounds, messages,
+//     words and the spanner itself.
+//
+// RunRemSpanAsync additionally executes the flooding with random
+// per-link delays to demonstrate timing invariance.
 package distsim
 
 import (

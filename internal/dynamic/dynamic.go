@@ -190,6 +190,12 @@ func (m *Maintainer) Spanner() *graph.EdgeSet {
 	return es
 }
 
+// TreeOf returns root u's stored dominating-tree edges as (child,
+// parent) pairs. The slice is shared with the maintainer and valid
+// until the next applied change — it is the per-root ground truth the
+// distributed simulator's live runs are pinned against.
+func (m *Maintainer) TreeOf(u int) [][2]int32 { return m.trees[u] }
+
 // TreesRebuilt returns the cumulative number of tree constructions
 // (including the initial build). The dirty-root set is accumulated in
 // sorted order, so the count trace — and every stored tree — is
@@ -199,33 +205,46 @@ func (m *Maintainer) Spanner() *graph.EdgeSet {
 func (m *Maintainer) TreesRebuilt() int64 { return m.rebuilt }
 
 // applyOne applies one change to the graph and the delta, accumulating
-// the roots it dirties into the scratch union. Reports whether the
-// change had any effect. Dirty sweeps run on the state the locality
-// argument needs: post-change for insertions (new vertices become
-// reachable through the edge), pre-change for deletions (roots that
-// could reach the edge before it vanished).
+// the roots it dirties into the scratch union.
 func (m *Maintainer) applyOne(ch Change) bool {
+	return ApplyChange(m.g, m.delta, m.dirty, m.radius, ch)
+}
+
+// ApplyChange applies one topology change to the mutable mirror g and
+// its patched delta in lockstep, accumulating every root whose
+// radius-R tree input the change touches into dirty's union
+// accumulator (call dirty.ResetUnion to start a batch). Reports
+// whether the change had any effect. Dirty sweeps run on the state the
+// locality argument needs: post-change for insertions (new vertices
+// become reachable through the edge), pre-change for deletions (roots
+// that could reach the edge before it vanished).
+//
+// It is exported so other views of the same maintenance problem — the
+// distributed protocol simulator's live re-advertisement driver — share
+// the exact dirty-ball rule the Maintainer's equivalence proofs cover,
+// rather than approximating it.
+func ApplyChange(g *graph.Graph, delta *graph.CSRDelta, dirty *graph.BFSScratch, radius int, ch Change) bool {
 	switch ch.Kind {
 	case AddEdge:
-		if !m.g.AddEdge(ch.U, ch.V) {
+		if !g.AddEdge(ch.U, ch.V) {
 			return false
 		}
-		m.delta.AddEdge(ch.U, ch.V)
-		m.dirty.UnionBounded(m.g, ch.U, m.radius)
-		m.dirty.UnionBounded(m.g, ch.V, m.radius)
+		delta.AddEdge(ch.U, ch.V)
+		dirty.UnionBounded(g, ch.U, radius)
+		dirty.UnionBounded(g, ch.V, radius)
 		return true
 	case RemoveEdge:
-		if !m.g.HasEdge(ch.U, ch.V) {
+		if !g.HasEdge(ch.U, ch.V) {
 			return false
 		}
-		m.dirty.UnionBounded(m.g, ch.U, m.radius)
-		m.dirty.UnionBounded(m.g, ch.V, m.radius)
-		m.g.RemoveEdge(ch.U, ch.V)
-		m.delta.RemoveEdge(ch.U, ch.V)
+		dirty.UnionBounded(g, ch.U, radius)
+		dirty.UnionBounded(g, ch.V, radius)
+		g.RemoveEdge(ch.U, ch.V)
+		delta.RemoveEdge(ch.U, ch.V)
 		return true
 	case FailVertex:
 		x := ch.U
-		nbrs := m.g.Neighbors(x)
+		nbrs := g.Neighbors(x)
 		if len(nbrs) == 0 {
 			return false
 		}
@@ -234,12 +253,12 @@ func (m *Maintainer) applyOne(ch Change) bool {
 		// so B(v,R) ⊆ B(x,R+1); conversely any w at distance R+1 from x
 		// reaches x through some neighbor v with d(w,v) = R, so the two
 		// sets are equal (pinned by TestFailVertexDirtySweepEqualsUnion).
-		m.dirty.UnionBounded(m.g, x, m.radius+1)
+		dirty.UnionBounded(g, x, radius+1)
 		for len(nbrs) > 0 {
 			v := int(nbrs[len(nbrs)-1])
-			m.g.RemoveEdge(x, v)
-			m.delta.RemoveEdge(x, v)
-			nbrs = m.g.Neighbors(x)
+			g.RemoveEdge(x, v)
+			delta.RemoveEdge(x, v)
+			nbrs = g.Neighbors(x)
 		}
 		return true
 	default:

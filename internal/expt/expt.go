@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"E14", "Incremental maintenance under churn", "§2.3 (locality of node decisions)", Churn},
 		{"E15", "Worst-case frontier on C4-free graphs", "§1.2 tightness conjecture", WorstCase},
 		{"E16", "Asynchronous execution invariance", "§1 (no synchronization needed)", Asynchrony},
+		{"E17", "Live-network incremental re-advertisement", "§2.3 live operation, Alg. 3 locality", LiveNetwork},
 	}
 	sort.Slice(list, func(i, j int) bool { return idOrder(list[i].ID) < idOrder(list[j].ID) })
 	return list

@@ -32,8 +32,8 @@ func runExpt(t *testing.T, id string) string {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	for i, e := range all {
 		if idOrder(e.ID) != i+1 {
@@ -80,6 +80,7 @@ func TestLiveProtocolE(t *testing.T)   { runExpt(t, "E13") }
 func TestChurnE(t *testing.T)          { runExpt(t, "E14") }
 func TestWorstCaseE(t *testing.T)      { runExpt(t, "E15") }
 func TestAsynchronyE(t *testing.T)     { runExpt(t, "E16") }
+func TestLiveNetworkE(t *testing.T)    { runExpt(t, "E17") }
 
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {

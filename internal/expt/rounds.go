@@ -27,8 +27,8 @@ func Rounds(cfg Config) (*stats.Table, error) {
 		g := udgWithN(n, 4, cfg.rng(int64(700+i)))
 		_, fullWords := distsim.FullLinkState(g)
 
-		mpr := distsim.RunRemSpan(g, 1, func(local *graph.Graph, u int) *graph.Tree {
-			return domtree.KGreedy(local, u, 1)
+		mpr := distsim.RunRemSpan(g, 1, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+			return domtree.KGreedyCSR(c, s, u, 1)
 		})
 		if prev, ok := roundsSeen["mpr"]; ok && prev != mpr.Rounds {
 			constOK = false
@@ -37,8 +37,8 @@ func Rounds(cfg Config) (*stats.Table, error) {
 		t.AddRow(g.N(), g.M(), "RemSpan(2,0) k=1", 1, mpr.Rounds, mpr.Messages, mpr.Words,
 			fullWords, ratioStr(mpr.Words, fullWords))
 
-		two := distsim.RunRemSpan(g, 2, func(local *graph.Graph, u int) *graph.Tree {
-			return domtree.KMIS(local, u, 2)
+		two := distsim.RunRemSpan(g, 2, func(c graph.View, s *domtree.Scratch, u int) *graph.Tree {
+			return domtree.KMISCSR(c, s, u, 2)
 		})
 		if prev, ok := roundsSeen["two"]; ok && prev != two.Rounds {
 			constOK = false

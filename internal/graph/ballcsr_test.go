@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomBallGraph(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TestBallExtractSemantics: the extracted view must contain exactly the
+// edges incident to ball(≤R) vertices, with order-preserving dense ids
+// and sorted rows; fringe vertices keep only their reverse edges.
+func TestBallExtractSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(30)
+		g := randomBallGraph(n, rng)
+		radius := 1 + rng.Intn(3)
+		u := rng.Intn(n)
+		b := NewBallScratch(n)
+		local, root, members := b.Extract(g, u, radius)
+
+		if members[root] != int32(u) {
+			t.Fatalf("root remap broken: members[%d]=%d, want %d", root, members[root], u)
+		}
+		for i := 1; i < len(members); i++ {
+			if members[i] <= members[i-1] {
+				t.Fatalf("members not strictly ascending at %d", i)
+			}
+		}
+
+		dist := BFS(g, u)
+		inBall := func(v int32) bool { return dist[v] != Unreached && int(dist[v]) <= radius }
+
+		// Expected local view: every edge incident to a ball vertex.
+		want := New(n)
+		g.EachEdge(func(a, bb int) {
+			if inBall(int32(a)) || inBall(int32(bb)) {
+				want.AddEdge(a, bb)
+			}
+		})
+		// Check row by row through the remap.
+		back := make(map[int32]int32, len(members))
+		for lid, gid := range members {
+			back[int32(lid)] = gid
+		}
+		if local.N() != len(members) {
+			t.Fatalf("local N=%d, members=%d", local.N(), len(members))
+		}
+		seen := 0
+		for lid := 0; lid < local.N(); lid++ {
+			gid := members[lid]
+			row := local.Neighbors(lid)
+			for i := 1; i < len(row); i++ {
+				if row[i] <= row[i-1] {
+					t.Fatalf("row %d not sorted", lid)
+				}
+			}
+			for _, lw := range row {
+				gw := back[lw]
+				if !want.HasEdge(int(gid), int(gw)) {
+					t.Fatalf("extracted edge {%d,%d} not in expected view", gid, gw)
+				}
+				seen++
+			}
+		}
+		if seen != 2*want.M() {
+			t.Fatalf("extracted %d directed edges, want %d", seen, 2*want.M())
+		}
+	}
+}
+
+// TestBallExtractReuse: repeated extractions on the same scratch must
+// stay correct (epoch stamping) and allocation-free once warm.
+func TestBallExtractReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomBallGraph(400, rng)
+	b := NewBallScratch(g.N())
+	for u := 0; u < g.N(); u++ { // warm to the high-water mark
+		b.Extract(g, u, 2)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Extract(g, 17, 2)
+		b.Extract(g, 311, 2)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm extraction allocates %.1f per pair", allocs)
+	}
+}
+
+// TestBallExtractIsolated: an isolated root yields the singleton view.
+func TestBallExtractIsolated(t *testing.T) {
+	g := New(5)
+	g.AddEdge(1, 2)
+	b := NewBallScratch(5)
+	local, root, members := b.Extract(g, 0, 3)
+	if local.N() != 1 || root != 0 || len(members) != 1 || members[0] != 0 {
+		t.Fatalf("isolated extraction wrong: N=%d root=%d members=%v", local.N(), root, members)
+	}
+	if local.M() != 0 {
+		t.Fatalf("isolated view has %d edges", local.M())
+	}
+}

@@ -117,6 +117,21 @@ func (s *EdgeSet) Clone() *EdgeSet {
 	return c
 }
 
+// Equal reports whether s and o contain exactly the same edges —
+// without materializing or sorting either side's edge list (the
+// element-wise comparison every equivalence pin needs).
+func (s *EdgeSet) Equal(o *EdgeSet) bool {
+	if len(s.set) != len(o.set) {
+		return false
+	}
+	for k := range s.set {
+		if _, ok := o.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // SubsetOf reports whether every edge of s is an edge of g.
 func (s *EdgeSet) SubsetOf(g *Graph) bool {
 	for k := range s.set {

@@ -90,3 +90,25 @@ func TestEdgeSetAddTree(t *testing.T) {
 		t.Fatal("tree edges should be subset of host")
 	}
 }
+
+func TestEdgeSetEqual(t *testing.T) {
+	a, b := NewEdgeSet(6), NewEdgeSet(6)
+	if !a.Equal(b) {
+		t.Fatal("empty sets must be equal")
+	}
+	a.Add(1, 2)
+	a.Add(3, 4)
+	b.Add(4, 3) // canonicalized
+	b.Add(2, 1)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("identical sets reported unequal")
+	}
+	b.Add(0, 5)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("different sizes reported equal")
+	}
+	a.Add(0, 4) // same size, different edge
+	if a.Equal(b) {
+		t.Fatal("same-size different sets reported equal")
+	}
+}

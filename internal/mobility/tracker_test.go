@@ -1,0 +1,82 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/geom"
+	"remspan/internal/graph"
+)
+
+// TestTrackerMatchesUnitDiskGraph: after every tick the tracker's
+// adjacency must equal the from-scratch unit-disk graph of the current
+// positions.
+func TestTrackerMatchesUnitDiskGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewWaypoint(200, 8, 0.05, 0.3, rng)
+	tr := NewTracker(w, 1.0)
+	for tick := 0; tick < 15; tick++ {
+		tr.Tick()
+		want := geom.UnitDiskGraph(w.Positions(), 1.0)
+		if got := tr.Graph(); !got.Equal(want) {
+			t.Fatalf("tick %d: tracker adjacency diverged (m=%d want %d)",
+				tick, got.M(), want.M())
+		}
+	}
+}
+
+// TestTrackerDiffsReplay: applying the emitted diffs to the initial
+// graph must reproduce the current graph exactly.
+func TestTrackerDiffsReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := NewWaypoint(150, 7, 0.05, 0.25, rng)
+	tr := NewTracker(w, 1.0)
+	g := tr.Graph()
+	for tick := 0; tick < 20; tick++ {
+		added, removed := tr.Tick()
+		for _, p := range removed {
+			if !g.RemoveEdge(int(p[0]), int(p[1])) {
+				t.Fatalf("tick %d: removed edge {%d,%d} was absent", tick, p[0], p[1])
+			}
+		}
+		for _, p := range added {
+			if !g.AddEdge(int(p[0]), int(p[1])) {
+				t.Fatalf("tick %d: added edge {%d,%d} already present", tick, p[0], p[1])
+			}
+		}
+	}
+	if !g.Equal(tr.Graph()) {
+		t.Fatal("replayed diffs diverged from tracker graph")
+	}
+}
+
+// TestTrackerSteadyStateAllocs: warm ticks must not allocate — the
+// tracker is on the live simulation's per-tick hot path.
+func TestTrackerSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewWaypoint(300, 10, 0.02, 0.1, rng)
+	tr := NewTracker(w, 1.0)
+	for i := 0; i < 50; i++ { // reach the buffer high-water mark
+		tr.Tick()
+	}
+	allocs := testing.AllocsPerRun(30, func() { tr.Tick() })
+	if allocs > 0 {
+		t.Fatalf("steady-state tick allocates %.1f times", allocs)
+	}
+}
+
+// TestTrackerDegreeAccessor keeps Degree in sync with the materialized
+// graph.
+func TestTrackerDegreeAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := NewWaypoint(80, 5, 0.05, 0.2, rng)
+	tr := NewTracker(w, 1.0)
+	tr.Tick()
+	g := tr.Graph()
+	for u := 0; u < tr.N(); u++ {
+		if tr.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree of %d: tracker %d, graph %d", u, tr.Degree(u), g.Degree(u))
+		}
+	}
+	var _ *graph.Graph = g
+}

@@ -48,7 +48,13 @@ func NewWaypoint(n int, side, minSpeed, maxSpeed float64, rng *rand.Rand) *Waypo
 }
 
 func (w *Waypoint) retarget(i int) {
-	w.dst[i] = geom.Point{w.rng.Float64() * w.side, w.rng.Float64() * w.side}
+	// Write destinations in place: Step runs every tick on the live
+	// simulation hot path and must not allocate a Point per node.
+	if w.dst[i] == nil {
+		w.dst[i] = make(geom.Point, 2)
+	}
+	w.dst[i][0] = w.rng.Float64() * w.side
+	w.dst[i][1] = w.rng.Float64() * w.side
 	w.speed[i] = w.minSpeed + w.rng.Float64()*(w.maxSpeed-w.minSpeed)
 }
 
@@ -60,19 +66,21 @@ func (w *Waypoint) N() int { return len(w.pos) }
 func (w *Waypoint) Positions() []geom.Point { return w.pos }
 
 // Step advances every node one tick toward its waypoint, retargeting
-// on arrival.
+// on arrival. Positions are updated in place — zero allocations per
+// tick (pinned by TestTrackerSteadyStateAllocs).
 func (w *Waypoint) Step() {
 	for i, p := range w.pos {
 		d := w.dst[i]
 		dx, dy := d[0]-p[0], d[1]-p[1]
 		dist := math.Hypot(dx, dy)
 		if dist <= w.speed[i] {
-			w.pos[i] = geom.Point{d[0], d[1]}
+			p[0], p[1] = d[0], d[1]
 			w.retarget(i)
 			continue
 		}
 		scale := w.speed[i] / dist
-		w.pos[i] = geom.Point{p[0] + dx*scale, p[1] + dy*scale}
+		p[0] += dx * scale
+		p[1] += dy * scale
 	}
 }
 

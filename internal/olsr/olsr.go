@@ -90,8 +90,12 @@ type Sim struct {
 	tick  int64
 	stats Stats
 
-	helloBuf [][]helloMsg
-	tcBuf    [][]tcDelivery
+	// Double-buffered delivery queues: the rows being delivered this
+	// tick and the rows being filled for the next one swap each Tick,
+	// so a long-running simulation reuses row capacity instead of
+	// allocating 2n slice headers per tick.
+	helloBuf, helloNext [][]helloMsg
+	tcBuf, tcNext       [][]tcDelivery
 }
 
 // New creates a simulation over the initial topology g.
@@ -118,6 +122,8 @@ func New(g *graph.Graph, p Params) *Sim {
 	}
 	s.helloBuf = make([][]helloMsg, n)
 	s.tcBuf = make([][]tcDelivery, n)
+	s.helloNext = make([][]helloMsg, n)
+	s.tcNext = make([][]tcDelivery, n)
 	return s
 }
 
@@ -137,8 +143,12 @@ func (s *Sim) Tick() {
 	// 1. Deliver queued messages (sent last tick over last tick's links;
 	// delivery uses the current physical graph — links that vanished
 	// in between drop the frame, as radios do).
-	nextHello := make([][]helloMsg, n)
-	nextTC := make([][]tcDelivery, n)
+	nextHello := s.helloNext
+	nextTC := s.tcNext
+	for i := range nextHello {
+		nextHello[i] = nextHello[i][:0]
+		nextTC[i] = nextTC[i][:0]
+	}
 	for u := 0; u < n; u++ {
 		nd := s.nodes[u]
 		for _, h := range s.helloBuf[u] {
@@ -182,8 +192,8 @@ func (s *Sim) Tick() {
 			}
 		}
 	}
-	s.helloBuf = nextHello
-	s.tcBuf = nextTC
+	s.helloBuf, s.helloNext = nextHello, s.helloBuf
+	s.tcBuf, s.tcNext = nextTC, s.tcBuf
 	s.tick++
 }
 
