@@ -29,6 +29,14 @@
 // diffs drive dirty-root incremental re-advertisement, compared against
 // OSPF-style full link-state re-flooding.
 //
+// The routing suite (-suite routing → BENCH_routing.json) measures the
+// forwarding plane (DESIGN.md §3e): full table construction on the
+// scalar per-owner builder vs the word-parallel 64-owner engine (owner
+// counts are capped at large n — a full 50k FIB is n² state), and live
+// mobility-driven churn through the epoch-swapped routing.Store —
+// writer tick cost, lock-free query throughput, and the stale-route
+// window between a physical change and the next control-plane batch.
+//
 // -quick replaces testing.Benchmark with one timed iteration per cell —
 // the smoke-test and CI mode.
 package main
@@ -54,6 +62,7 @@ import (
 	"remspan/internal/graph"
 	"remspan/internal/mobility"
 	"remspan/internal/oracle"
+	"remspan/internal/routing"
 	"remspan/internal/spanner"
 )
 
@@ -186,7 +195,7 @@ type verifyReport struct {
 }
 
 func main() {
-	suite := flag.String("suite", "construct", "benchmark suite: construct | churn | verify | distsim")
+	suite := flag.String("suite", "construct", "benchmark suite: construct | churn | verify | distsim | routing")
 	n := flag.Int("n", 400, "construct suite: graph size (vertices)")
 	side := flag.Float64("side", 4, "construct suite: UDG square side (the historical dense-graph workload; the real mean degree lands near n/5 and is reported as avg_degree)")
 	churnDeg := flag.Int("churn-deg", 8, "churn suite: target average UDG degree (keep > ~4.5, the percolation threshold)")
@@ -198,6 +207,13 @@ func main() {
 	dsizes := flag.String("distsim-sizes", "2000,10000,50000", "distsim suite: comma-separated graph sizes")
 	distsimDeg := flag.Int("distsim-deg", 8, "distsim suite: target average UDG degree")
 	distsimTicks := flag.Int("distsim-ticks", 100, "distsim suite: mobility ticks per live run")
+	rsizes := flag.String("routing-sizes", "2000,10000,50000", "routing suite: comma-separated graph sizes for table construction")
+	rlsizes := flag.String("routing-live-sizes", "2000,10000", "routing suite: comma-separated graph sizes for the live churn store")
+	routingDeg := flag.Int("routing-deg", 24, "routing suite: target average UDG degree (the ER workload is pinned at mean degree 16)")
+	routingTicks := flag.Int("routing-ticks", 50, "routing suite: mobility ticks per live run")
+	routingQueries := flag.Int("routing-queries", 1024, "routing suite: store queries per tick")
+	routingLiveDeg := flag.Int("routing-live-deg", 8, "routing suite: target average UDG degree of the mobility fleet (the distsim live workload)")
+	routingOwnerCap := flag.Int("routing-owner-cap", 10000, "routing suite: max owners per table-construction cell (a full n-owner FIB is n² state, so 50k samples a ball-clustered subset)")
 	quick := flag.Bool("quick", false, "one timed iteration per cell instead of testing.Benchmark (smoke/CI mode)")
 	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
@@ -216,6 +232,9 @@ func main() {
 		data = runVerify(parseSizes(*vsizes), *verifyDeg, *seed)
 	case "distsim":
 		data = runDistsim(parseSizes(*dsizes), *distsimDeg, *seed, *distsimTicks)
+	case "routing":
+		data = runRouting(parseSizes(*rsizes), parseSizes(*rlsizes), *routingDeg, *routingLiveDeg, *seed,
+			*routingTicks, *routingQueries, *routingOwnerCap)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(1)
@@ -739,4 +758,234 @@ func runDistsim(sizes []int, deg int, seed int64, ticks int) []byte {
 			bb.Name, n, tickNs, float64(changes)/float64(liveTicks), saving)
 	}
 	return marshal(&rep)
+}
+
+// --- routing suite ---
+
+type routingBuildRecord struct {
+	Workload        string  `json:"workload"`
+	Engine          string  `json:"engine"`
+	N               int     `json:"n"`
+	Owners          int     `json:"owners"`
+	GraphEdges      int     `json:"graph_edges"`
+	SpannerEdges    int     `json:"spanner_edges"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	NsPerOwner      float64 `json:"ns_per_owner"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	Iterations      int     `json:"iterations"`
+}
+
+type routingLiveRecord struct {
+	Mode               string  `json:"mode"` // "live"
+	Builder            string  `json:"builder"`
+	N                  int     `json:"n"`
+	Ticks              int     `json:"ticks"`
+	ColdStartNs        float64 `json:"cold_start_ns"`
+	NsPerTick          float64 `json:"ns_per_tick"` // writer: ApplyBatch incl. dirty-owner table rebuild
+	ChangesPerTick     float64 `json:"changes_per_tick"`
+	DirtyOwnersPerTick float64 `json:"dirty_owners_per_tick"`
+	AllocsPerTick      float64 `json:"allocs_per_tick"`
+	NsPerQuery         float64 `json:"ns_per_query"` // reader: lock-free epoch Route
+	QueriesPerSec      float64 `json:"queries_per_sec"`
+	StaleWindowStale   float64 `json:"stale_window_stale_per_tick"` // RouteOn failures before catch-up
+	StaleWindowOK      float64 `json:"stale_window_delivered_per_tick"`
+	EpochSeq           uint64  `json:"final_epoch"`
+}
+
+type routingReport struct {
+	Context struct {
+		Sizes      []int  `json:"sizes"`
+		LiveSizes  []int  `json:"live_sizes"`
+		Degree     int    `json:"target_degree"`
+		LiveDegree int    `json:"live_target_degree"`
+		Seed       int64  `json:"seed"`
+		Ticks      int    `json:"live_ticks"`
+		Queries    int    `json:"queries_per_tick"`
+		OwnerCap   int    `json:"owner_cap"`
+		GoVersion  string `json:"go_version"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"context"`
+	Build []routingBuildRecord `json:"build"`
+	Live  []routingLiveRecord  `json:"live"`
+}
+
+// runRouting benchmarks the forwarding plane: table construction
+// (scalar vs word-parallel) on the two §4 workload families, and the
+// epoch-swapped routing.Store under mobility-driven churn.
+func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, queries, ownerCap int) []byte {
+	var rep routingReport
+	if quickMode && ticks > 10 {
+		ticks = 10
+	}
+	rep.Context.Sizes = sizes
+	rep.Context.LiveSizes = liveSizes
+	rep.Context.Degree = deg
+	rep.Context.LiveDegree = liveDeg
+	rep.Context.Seed = seed
+	rep.Context.Ticks = ticks
+	rep.Context.Queries = queries
+	rep.Context.OwnerCap = ownerCap
+	rep.Context.GoVersion = runtime.Version()
+	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	for _, n := range sizes {
+		workloads := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"er16", gen.ErdosRenyi(n, 16/float64(n), rand.New(rand.NewSource(seed)))},
+			{"udg", func() *graph.Graph {
+				side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+				gg := remspan.RandomUDG(n, side, seed)
+				return graph.FromEdges(gg.N(), gg.Edges())
+			}()},
+		}
+		for _, wl := range workloads {
+			runRoutingBuild(&rep, wl.name, wl.g, ownerCap)
+		}
+	}
+	for _, n := range liveSizes {
+		rep.Live = append(rep.Live, runRoutingLive(n, liveDeg, seed, ticks, queries))
+	}
+	return marshal(&rep)
+}
+
+// runRoutingBuild measures one workload's table construction, scalar
+// vs batched, over the same ball-clustered owner set (all owners, or
+// the first ownerCap of the clustered order at large n).
+func runRoutingBuild(rep *routingReport, workload string, g *graph.Graph, ownerCap int) {
+	h := spanner.Exact(g).Graph()
+	cg, ch := graph.NewCSR(g), graph.NewCSR(h)
+	n := g.N()
+	order, _ := graph.BatchOrder(cg)
+	owners := order
+	if len(owners) > ownerCap {
+		owners = owners[:ownerCap]
+	}
+	// Rows live in two contiguous slabs, the same layout
+	// routing.NewTables gives a full build (scattered per-owner rows
+	// would tax the builders' streaming phases with TLB misses the
+	// production path never pays).
+	tables := make([]routing.Table, n)
+	nextSlab := make([]int32, len(owners)*n)
+	distSlab := make([]int32, len(owners)*n)
+	for j, u := range owners {
+		tables[u] = routing.Table{
+			Owner: int(u),
+			Next:  nextSlab[j*n : (j+1)*n : (j+1)*n],
+			Dist:  distSlab[j*n : (j+1)*n : (j+1)*n],
+		}
+	}
+
+	scratch := routing.NewTableScratch(n)
+	bb := routing.NewBatchBuilder(n)
+	arms := []struct {
+		engine string
+		run    func()
+	}{
+		{"scalar", func() {
+			for _, u := range owners {
+				scratch.BuildTableInto(cg, ch, int(u), tables[u].Next, tables[u].Dist)
+			}
+		}},
+		{"batched", func() { bb.BuildInto(cg, ch, tables, owners) }},
+	}
+	scalarNs := 0.0
+	for _, a := range arms {
+		res := bench(a.run)
+		rec := routingBuildRecord{
+			Workload: workload, Engine: a.engine,
+			N: n, Owners: len(owners), GraphEdges: g.M(), SpannerEdges: h.M(),
+			NsPerOp: res.NsPerOp, NsPerOwner: res.NsPerOp / float64(len(owners)),
+			AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp, Iterations: res.N,
+		}
+		if a.engine == "scalar" {
+			scalarNs = rec.NsPerOp
+		} else if scalarNs > 0 {
+			rec.SpeedupVsScalar = scalarNs / rec.NsPerOp
+		}
+		rep.Build = append(rep.Build, rec)
+		fmt.Fprintf(os.Stderr, "routing build %-5s n=%-6d owners=%-6d %-8s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
+			workload, n, len(owners), a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
+	}
+}
+
+// runRoutingLive drives the epoch-swapped store with the mobility
+// tracker: each tick the unit-disk diff is applied as one batch
+// (dirty-owner table rebuild included), queries run lock-free against
+// the published epoch, and a pre-catch-up RouteOn pass against the
+// fresh physical graph measures the stale-route window.
+func runRoutingLive(n, deg int, seed int64, ticks, queries int) routingLiveRecord {
+	const minSpeed, maxSpeed = 0.01, 0.05
+	side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+	rng := rand.New(rand.NewSource(seed))
+	w := mobility.NewWaypoint(n, side, minSpeed, maxSpeed, rng)
+	tr := mobility.NewTracker(w, 1.0)
+	bb := dynamic.Builders()[0] // kgreedy1
+
+	start := time.Now()
+	st := routing.NewStore(dynamic.New(tr.Graph(), bb.Radius, bb.Build))
+	cold := time.Since(start)
+	reader := st.NewReader()
+	qrng := rand.New(rand.NewSource(seed + 13))
+
+	var tickNs, changes, dirty, staleHit, staleOK, queriesRun, queryNs int64
+	var allocs uint64
+	changesBuf := make([]dynamic.Change, 0, 1024)
+	var ms runtime.MemStats
+	for tick := 0; tick < ticks; tick++ {
+		added, removed := tr.Tick()
+		changesBuf = changesBuf[:0]
+		for _, p := range removed {
+			changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.RemoveEdge, U: int(p[0]), V: int(p[1])})
+		}
+		for _, p := range added {
+			changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.AddEdge, U: int(p[0]), V: int(p[1])})
+		}
+		// Stale window: the physical truth moved, the control plane has
+		// not caught up yet.
+		phys := tr.Graph()
+		for q := 0; q < queries/8; q++ {
+			r := reader.RouteOn(phys, qrng.Intn(n), qrng.Intn(n))
+			if r.Reason == routing.RouteStaleLink {
+				staleHit++
+			} else if r.OK {
+				staleOK++
+			}
+		}
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		t0 := time.Now()
+		applied := st.ApplyBatch(changesBuf)
+		tickNs += time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms)
+		allocs += ms.Mallocs - m0
+		changes += int64(applied)
+		dirty += int64(len(st.Maintainer().DirtyRoots()))
+		// Steady-state query throughput against the fresh epoch.
+		t0 = time.Now()
+		for q := 0; q < queries; q++ {
+			reader.Route(qrng.Intn(n), qrng.Intn(n))
+		}
+		queryNs += time.Since(t0).Nanoseconds()
+		queriesRun += int64(queries)
+	}
+	rec := routingLiveRecord{
+		Mode: "live", Builder: bb.Name, N: n, Ticks: ticks,
+		ColdStartNs:        float64(cold.Nanoseconds()),
+		NsPerTick:          float64(tickNs) / float64(ticks),
+		ChangesPerTick:     float64(changes) / float64(ticks),
+		DirtyOwnersPerTick: float64(dirty) / float64(ticks),
+		AllocsPerTick:      float64(allocs) / float64(ticks),
+		NsPerQuery:         float64(queryNs) / float64(queriesRun),
+		QueriesPerSec:      1e9 * float64(queriesRun) / float64(queryNs),
+		StaleWindowStale:   float64(staleHit) / float64(ticks),
+		StaleWindowOK:      float64(staleOK) / float64(ticks),
+		EpochSeq:           st.Epoch().Seq(),
+	}
+	fmt.Fprintf(os.Stderr, "routing live  n=%-6d %12.0f ns/tick %8.1f changes/tick %10.0f queries/sec %6.1f stale/tick\n",
+		n, rec.NsPerTick, rec.ChangesPerTick, rec.QueriesPerSec, rec.StaleWindowStale)
+	return rec
 }

@@ -63,3 +63,29 @@ func TestDistsimSuiteSmoke(t *testing.T) {
 		t.Fatalf("live run shows no saving vs full link-state: %v", row)
 	}
 }
+
+func TestRoutingSuiteSmoke(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runRouting([]int{300}, []int{200}, 24, 8, 1, 5, 64, 4096) })
+	// 2 workloads × 2 engines build, 1 live row.
+	build := doc["build"].([]any)
+	if len(build) != 4 {
+		t.Fatalf("routing suite emitted %d build records, want 4", len(build))
+	}
+	for _, rec := range build {
+		row := rec.(map[string]any)
+		if row["owners"].(float64) <= 0 || row["ns_per_op"].(float64) <= 0 {
+			t.Fatalf("degenerate build record: %v", row)
+		}
+	}
+	live := doc["live"].([]any)
+	if len(live) != 1 {
+		t.Fatalf("routing suite emitted %d live records, want 1", len(live))
+	}
+	row := live[0].(map[string]any)
+	if row["final_epoch"].(float64) < 2 {
+		t.Fatalf("live run never published an epoch: %v", row)
+	}
+	if row["queries_per_sec"].(float64) <= 0 {
+		t.Fatalf("no query throughput measured: %v", row)
+	}
+}

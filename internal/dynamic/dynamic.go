@@ -196,6 +196,21 @@ func (m *Maintainer) Spanner() *graph.EdgeSet {
 // distributed simulator's live runs are pinned against.
 func (m *Maintainer) TreeOf(u int) [][2]int32 { return m.trees[u] }
 
+// View returns the graph.View the maintainer's builders read (the
+// patched CSRDelta, or a fresh CSR in snapshot-ablation mode). Shared
+// state: valid for reads between applied changes, never across them.
+func (m *Maintainer) View() graph.View { return m.view }
+
+// Radius returns the construction's locality radius R.
+func (m *Maintainer) Radius() int { return m.radius }
+
+// DirtyRoots returns the sorted dirty-root union of the most recent
+// applied change or batch — exactly the roots whose trees were
+// rebuilt. The slice is scratch-owned and valid until the next applied
+// change. Downstream incremental consumers (the routing.Store's
+// dirty-owner table rebuild) key their own repairs off this set.
+func (m *Maintainer) DirtyRoots() []int32 { return m.dirty.UnionSorted() }
+
 // TreesRebuilt returns the cumulative number of tree constructions
 // (including the initial build). The dirty-root set is accumulated in
 // sorted order, so the count trace — and every stored tree — is

@@ -1,6 +1,9 @@
 package graph
 
-import "math/bits"
+import (
+	"math/bits"
+	"slices"
+)
 
 // BitScratch is a word-parallel batched BFS engine: up to 64 sources
 // traverse the graph in one sweep, with source i owning bit i of a
@@ -37,11 +40,14 @@ type BitScratch struct {
 	cur, nxt []int32 // frontier vertex lists (current / next level)
 	arrivals []int32 // vertices with next != 0 during one expansion
 	touched  []int32 // vertices with visited != 0 this batch
+	sortBuf  []int32 // radix swap space for sorted-frontier sweeps (lazy)
 
-	// visit, when set (SweepSourcesVisit), streams first-visit events
-	// instead of recording distance rows: all-pairs consumers that need
-	// each (source, vertex, distance) only once skip the O(n·64)
-	// row-write traffic entirely.
+	// visit, when set (SweepSourcesVisit), streams first-visit events.
+	// On a masks-only scratch that skips the O(n·64) row-write traffic
+	// entirely (the all-pairs verification consumers); a scratch with
+	// rows keeps recording them alongside the callback (the batched
+	// table builder reads distances from the rows and uses the events
+	// only for next-hop claims).
 	visit func(v int32, newBits uint64, level int32)
 }
 
@@ -183,10 +189,111 @@ func (s *BitScratch) Step(view View, level int32) bool {
 	return len(s.cur) > 0
 }
 
+// SweepClaim runs the seeded batch to exhaustion like Sweep, but with
+// sorted-frontier expansion and a claim callback: at each level the
+// frontier is expanded in ascending vertex-id order, and claim(x, v,
+// newBits, level) fires at the moment source bits first arrive at v
+// through the edge (x, v) — x is therefore the smallest-id
+// previous-level neighbor of v carrying those bits, which is exactly
+// the canonical next-hop rule of the batched forwarding-table builder.
+// Each (source, vertex) pair is claimed exactly once. The callback
+// runs inside the expansion with x's state hot in cache; it must not
+// call back into this BitScratch.
+func (s *BitScratch) SweepClaim(view View, level int32, claim func(x, v int32, newBits uint64, level int32)) {
+	for s.stepClaim(view, level, claim) {
+		level++
+	}
+}
+
+// stepClaim is Step with sorted-frontier expansion and the first-
+// arrival claim callback.
+func (s *BitScratch) stepClaim(view View, level int32, claim func(x, v int32, newBits uint64, level int32)) bool {
+	if len(s.cur) == 0 {
+		return false
+	}
+	s.sortFrontier()
+	stripes := s.stripes
+	arr := s.arrivals[:0]
+	if c, ok := view.(*CSR); ok {
+		for _, u := range s.cur {
+			f := stripes[u].fro
+			stripes[u].fro = 0
+			for _, v := range c.targets[c.offsets[u]:c.offsets[u+1]] {
+				st := &stripes[v]
+				old := st.next
+				if newly := f &^ (old | st.vis); newly != 0 {
+					claim(u, v, newly, level)
+				}
+				st.next = old | f
+				if old == 0 {
+					arr = append(arr, v)
+				}
+			}
+		}
+	} else {
+		for _, u := range s.cur {
+			f := stripes[u].fro
+			stripes[u].fro = 0
+			for _, v := range view.Neighbors(int(u)) {
+				st := &stripes[v]
+				old := st.next
+				if newly := f &^ (old | st.vis); newly != 0 {
+					claim(u, v, newly, level)
+				}
+				st.next = old | f
+				if old == 0 {
+					arr = append(arr, v)
+				}
+			}
+		}
+	}
+	s.arrivals = arr
+	s.nxt = s.collect(arr, s.nxt[:0], level)
+	s.cur, s.nxt = s.nxt, s.cur
+	return len(s.cur) > 0
+}
+
+// sortFrontier sorts s.cur ascending: comparison sort for short
+// frontiers, LSD radix-256 over the bytes a vertex id can occupy for
+// long ones (a comparison sort here would cost as much as the claim
+// pass it serves). The swap buffer is lazily sized once, so sorted
+// sweeps stay allocation-free when warm.
+func (s *BitScratch) sortFrontier() {
+	a := s.cur
+	if len(a) <= 64 {
+		slices.Sort(a)
+		return
+	}
+	if cap(s.sortBuf) < len(a) {
+		s.sortBuf = make([]int32, len(s.stripes))
+	}
+	buf := s.sortBuf[:len(a)]
+	passes := (bits.Len(uint(len(s.stripes)-1)) + 7) / 8
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		var cnt [257]int32
+		for _, v := range a {
+			cnt[((v>>shift)&0xff)+1]++
+		}
+		for i := 1; i < len(cnt); i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for _, v := range a {
+			c := (v >> shift) & 0xff
+			buf[cnt[c]] = v
+			cnt[c]++
+		}
+		a, buf = buf, a
+	}
+	if passes%2 == 1 {
+		copy(buf, a) // buf aliases s.cur's storage here; move the result back
+	}
+}
+
 // SetVisit installs (nil clears) the streaming first-visit callback
-// consumed by Step/Sweep: with a callback no distance rows are
-// written; without one, a masks-only scratch records reachability
-// alone and a full scratch records rows.
+// consumed by Step/Sweep. A masks-only scratch then records
+// reachability alone; a full scratch keeps recording distance rows
+// alongside the callback.
 func (s *BitScratch) SetVisit(fn func(v int32, newBits uint64, level int32)) { s.visit = fn }
 
 // collect drains the arrival masks into the next frontier, recording
@@ -206,13 +313,14 @@ func (s *BitScratch) collect(arrivals, nxt []int32, level int32) []int32 {
 		}
 		st.vis |= newBits
 		st.fro = newBits
-		if s.visit != nil {
-			s.visit(v, newBits, level)
-		} else if s.dist != nil {
+		if s.dist != nil {
 			base := int(v) << 6
 			for b := newBits; b != 0; b &= b - 1 {
 				s.dist[base+bits.TrailingZeros64(b)] = level
 			}
+		}
+		if s.visit != nil {
+			s.visit(v, newBits, level)
 		}
 		nxt = append(nxt, v)
 	}
@@ -242,10 +350,11 @@ func (s *BitScratch) SweepSources(view View, sources []int32) {
 
 // SweepSourcesVisit is SweepSources in streaming form: visit is called
 // once per (vertex, new source bits, distance) first-visit event, in
-// level order, and no distance rows are written — after the sweep only
-// Visited/Reached are meaningful, not Row/Dist. The sources themselves
-// (distance 0) are not reported. The callback runs inside the sweep's
-// collect phase: it must not call back into this BitScratch.
+// level order. On a masks-only scratch no distance rows exist — after
+// the sweep only Visited/Reached are meaningful, not Row/Dist. The
+// sources themselves (distance 0) are not reported. The callback runs
+// inside the sweep's collect phase: it must not call back into this
+// BitScratch.
 func (s *BitScratch) SweepSourcesVisit(view View, sources []int32, visit func(v int32, newBits uint64, level int32)) {
 	s.Begin()
 	for i, u := range sources {

@@ -38,6 +38,20 @@ func FromEdges(n int, edges [][2]int) *Graph {
 	return g
 }
 
+// FromView materializes a View as a mutable Graph. A *Graph input is
+// returned as-is (no copy); CSR/CSRDelta inputs are rebuilt row by row.
+func FromView(v View) *Graph {
+	if g, ok := v.(*Graph); ok {
+		return g
+	}
+	n := v.N()
+	g := &Graph{adj: make([][]int32, n), m: v.M()}
+	for u := 0; u < n; u++ {
+		g.adj[u] = append([]int32(nil), v.Neighbors(u)...)
+	}
+	return g
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 

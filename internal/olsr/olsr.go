@@ -96,6 +96,11 @@ type Sim struct {
 	// allocating 2n slice headers per tick.
 	helloBuf, helloNext [][]helloMsg
 	tcBuf, tcNext       [][]tcDelivery
+
+	// Reusable traversal state for RouteCheck's per-hop view BFS
+	// (lazily created; the graph.View migration of the routing data
+	// paths).
+	routeScratch *graph.BFSScratch
 }
 
 // New creates a simulation over the initial topology g.

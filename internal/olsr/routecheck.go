@@ -22,12 +22,16 @@ func (s *Sim) RouteCheck(pairs [][2]int) RouteReport {
 	var rep RouteReport
 	sum := 0.0
 	n := len(s.nodes)
+	if s.routeScratch == nil {
+		s.routeScratch = graph.NewBFSScratch(n)
+	}
 	for _, p := range pairs {
 		src, dst := p[0], p[1]
 		if src == dst {
 			continue
 		}
-		dg := graph.BFS(s.g, src)[dst]
+		dgRow, _, _ := s.routeScratch.BoundedView(s.g, src, n)
+		dg := dgRow[dst]
 		if dg == graph.Unreached {
 			continue
 		}
@@ -63,7 +67,7 @@ func (s *Sim) routeOne(src, dst, maxHops int) (hops int, ok bool) {
 			continue
 		}
 		view := s.View(cur)
-		dist := graph.BFS(view, dst)
+		dist, _, _ := s.routeScratch.BoundedView(view, dst, view.N())
 		best, bestD := int32(-1), int32(0)
 		for v := range nd.nbrs {
 			d := dist[v]

@@ -1,0 +1,258 @@
+package routing
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"remspan/internal/graph"
+)
+
+// Word-parallel table construction: 64 owners' Next/Dist rows per
+// graph.BitScratch sweep.
+//
+// Distances use the star-decomposition identity of the verification
+// engine (spanner.SweepViewBatch): H_u is H plus the star {u}×N_G(u),
+// so seeding bit u at distance 0 on u, at distance 1 on every
+// w ∈ N_G(u), and sweeping over H alone computes d_{H_u}(u, ·) exactly
+// — no per-owner graph is ever materialized.
+//
+// Next hops ride the same sweep. The canonical rule (tables.go) makes
+// a destination inherit the next hop of its smallest-id H-neighbor at
+// the previous BFS level, and graph.BitScratch.SweepClaim delivers
+// exactly that pairing for free: with the frontier expanded in
+// ascending vertex-id order, the first expansion to land a source bit
+// on v comes from the smallest-id previous-level neighbor carrying it,
+// and the claim callback fires with that (x, v, bits) right inside the
+// edge walk — no per-event H-row re-scan, and x's scratch row stays
+// cache-hot across all of x's edges. So batched tables are
+// bit-identical to BuildTables on every input (pinned by
+// TestBatchedTablesMatchScalar and FuzzTableEquivalence).
+//
+// Claims write into a flat transposed scratch of packed
+// (next hop << half) | level words — 64 entries per vertex, so one
+// arrival event touches a handful of cache lines however many bits
+// land at once and each claim is a single load + store, and the
+// parent's entry is always final before any child reads it (level
+// order). The claim phase is memory-latency-bound on the parent rows,
+// so the word width matters: graphs with n ≤ 65535 (every production
+// workload below 64k vertices) run a uint32-packed engine whose rows
+// span half the cache lines of the uint64 one; larger graphs fall
+// back to 64-bit words. One scatter pass then streams the scratch
+// into the owners' output rows, folding the unreached back-fill into
+// the same store. Total work per 64-owner batch: O(m) mask operations
+// for the sweep and the claim scans plus O(64·n) scratch and output
+// writes, against the O(64·(n+m)) cache-missing scalar walks it
+// replaces.
+//
+// Owners are grouped by graph.BatchOrder's ball clustering, not by id:
+// a bit-packed sweep costs O(edges × distinct wavefront levels), so 64
+// scattered owners on a high-diameter graph would forfeit the word
+// parallelism (see graph.BatchOrder).
+
+// BatchBuilder is the reusable engine of word-parallel table
+// construction. All state resets through touched lists, so a warm
+// builder constructs any number of table groups with zero allocations
+// (pinned by TestBatchBuilderZeroAlloc). Not safe for concurrent use;
+// parallel builds give each worker its own.
+type BatchBuilder struct {
+	bs *graph.BitScratch // masks-only: distances live in the packed scratch rows
+
+	// Transposed packed rows, one engine selected by vertex-id width:
+	// scr[v<<6|i] = next hop of owner bit i at v << half | arrival
+	// level. scr32 serves n ≤ 65535; scr64 anything larger.
+	scr64 []uint64
+	scr32 []uint32
+
+	claim func(x, v int32, newBits uint64, level int32)
+
+	groupNext, groupDist [][]int32 // per-group row views (≤64 each)
+}
+
+// NewBatchBuilder returns a builder for graphs with up to n vertices.
+// Footprint is O(64·n) words — one packed transposed 64-entry row per
+// vertex — plus the masks-only bit scratch.
+func NewBatchBuilder(n int) *BatchBuilder {
+	b := &BatchBuilder{
+		bs:        graph.NewBitScratchMasks(n),
+		groupNext: make([][]int32, 0, 64),
+		groupDist: make([][]int32, 0, 64),
+	}
+	// Bound once so sweeps are allocation-free when warm.
+	if n <= 0xffff {
+		b.scr32 = make([]uint32, n*64)
+		b.claim = b.claimEdge32
+	} else {
+		b.scr64 = make([]uint64, n*64)
+		b.claim = b.claimEdge64
+	}
+	return b
+}
+
+// claimEdge64 is the SweepClaim callback (wide engine): bits first
+// arriving at v through (x, v) inherit x's next hops and record the
+// arrival level, in one packed store per bit. x's row stays hot across
+// all of x's edges (the callback fires mid-expansion).
+func (b *BatchBuilder) claimEdge64(x, v int32, newBits uint64, level int32) {
+	base, xb := int(v)<<6, int(x)<<6
+	lvl := uint64(uint32(level))
+	scr := b.scr64
+	for bb := newBits; bb != 0; bb &= bb - 1 {
+		i := bits.TrailingZeros64(bb)
+		scr[base+i] = scr[xb+i]&^uint64(0xffffffff) | lvl
+	}
+}
+
+// claimEdge32 is claimEdge64 on the half-width scratch (n ≤ 65535:
+// next hop and level both fit 16 bits).
+func (b *BatchBuilder) claimEdge32(x, v int32, newBits uint64, level int32) {
+	base, xb := int(v)<<6, int(x)<<6
+	lvl := uint32(uint16(level))
+	scr := b.scr32
+	for bb := newBits; bb != 0; bb &= bb - 1 {
+		i := bits.TrailingZeros64(bb)
+		scr[base+i] = scr[xb+i]&^uint32(0xffff) | lvl
+	}
+}
+
+// buildGroup constructs the tables of up to 64 owners in one sweep:
+// next[i]/dist[i] receive owner owners[i]'s rows (each of length ≥ n,
+// fully overwritten).
+func (b *BatchBuilder) buildGroup(g, h graph.View, owners []int32, next, dist [][]int32) {
+	if len(owners) == 0 {
+		return
+	}
+	if len(owners) > 64 {
+		panic("routing: batch group exceeds 64 owners")
+	}
+	n := g.N()
+	b.bs.Begin()
+	for i, uu := range owners {
+		u := int(uu)
+		b.bs.Seed(uint(i), u, 0)
+		if b.scr32 != nil {
+			b.scr32[u<<6|i] = uint32(uint16(uu)) << 16
+		} else {
+			b.scr64[u<<6|i] = uint64(uint32(uu)) << 32
+		}
+		for _, w := range g.Neighbors(u) {
+			b.bs.SeedFrontier(uint(i), int(w), 1)
+			if b.scr32 != nil {
+				b.scr32[int(w)<<6|i] = uint32(uint16(w))<<16 | 1
+			} else {
+				b.scr64[int(w)<<6|i] = uint64(uint32(w))<<32 | 1
+			}
+		}
+	}
+	b.bs.SweepClaim(h, 2, b.claim)
+
+	// Scatter: stream each vertex's packed scratch row into the owners'
+	// output rows, folding the unreached back-fill into the same store
+	// — for mask m = -1 (visited) the store unpacks the scratch word,
+	// for m = 0 it is -1 == graph.Unreached.
+	k := len(owners)
+	full := ^uint64(0) >> uint(64-k)
+	if b.scr32 != nil {
+		for v := 0; v < n; v++ {
+			vis := b.bs.Visited(v)
+			row := b.scr32[v<<6 : v<<6+k : v<<6+k]
+			if vis&full == full { // every owner reached v: plain unpack
+				for i, w := range row {
+					next[i][v] = int32(w >> 16)
+					dist[i][v] = int32(w & 0xffff)
+				}
+				continue
+			}
+			for i, w := range row {
+				m := -int32((vis >> uint(i)) & 1)
+				next[i][v] = (int32(w>>16) & m) | ^m
+				dist[i][v] = (int32(w&0xffff) & m) | ^m
+			}
+		}
+		return
+	}
+	for v := 0; v < n; v++ {
+		vis := b.bs.Visited(v)
+		row := b.scr64[v<<6 : v<<6+k : v<<6+k]
+		if vis&full == full { // every owner reached v: plain unpack
+			for i, w := range row {
+				next[i][v] = int32(w >> 32)
+				dist[i][v] = int32(uint32(w))
+			}
+			continue
+		}
+		for i, w := range row {
+			m := -int32((vis >> uint(i)) & 1)
+			next[i][v] = (int32(w>>32) & m) | ^m
+			dist[i][v] = (int32(uint32(w)) & m) | ^m
+		}
+	}
+}
+
+// BuildInto constructs the tables of the given owners (any subset of
+// 0..n-1, any order) into tables — indexed by owner id, rows pre-sized
+// — in consecutive groups of up to 64 per sweep. Owners should arrive
+// ball-clustered (graph.BatchOrder) or at least id-sorted: sweep cost
+// grows with the spread of the group's wavefronts.
+func (b *BatchBuilder) BuildInto(g, h graph.View, tables []Table, owners []int32) {
+	for start := 0; start < len(owners); start += 64 {
+		end := start + 64
+		if end > len(owners) {
+			end = len(owners)
+		}
+		group := owners[start:end]
+		b.groupNext = b.groupNext[:0]
+		b.groupDist = b.groupDist[:0]
+		for _, u := range group {
+			tables[u].Owner = int(u)
+			b.groupNext = append(b.groupNext, tables[u].Next)
+			b.groupDist = append(b.groupDist, tables[u].Dist)
+		}
+		b.buildGroup(g, h, group, b.groupNext, b.groupDist)
+	}
+}
+
+// BuildTablesBatched computes every router's table on the
+// word-parallel engine — bit-identical to BuildTables, with the
+// speedup tracked in BENCH_routing.json — fanning ball-clustered
+// 64-owner groups across a worker pool with one builder per worker.
+func BuildTablesBatched(g, h graph.View) []Table {
+	out := NewTables(g.N())
+	BuildTablesBatchedInto(g, h, out)
+	return out
+}
+
+// BuildTablesBatchedInto is BuildTablesBatched into caller-provided
+// tables (len n, rows pre-sized).
+func BuildTablesBatchedInto(g, h graph.View, tables []Table) {
+	n := g.N()
+	order, starts := graph.BatchOrder(g)
+	nb := len(starts) - 1
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		b := NewBatchBuilder(n)
+		b.BuildInto(g, h, tables, order)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			b := NewBatchBuilder(n)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(nb) {
+					return
+				}
+				b.BuildInto(g, h, tables, order[starts[i]:starts[i+1]])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,19 @@
 // its own neighbors (hello protocol) plus the flooded sub-graph H, so
 // it routes greedily on its augmented view H_u; the remote-spanner
 // property bounds the resulting route length by α·d_G + β (§1).
+//
+// The forwarding plane has two data paths, both written against the
+// graph.View read interface (mutable Graph, CSR snapshot, or patched
+// CSRDelta) with reusable scratch so hot paths allocate nothing:
+//
+//   - GreedyRoute / RouteScratch: per-hop greedy forwarding, each hop
+//     re-evaluating distances in its own view (the simulation path);
+//   - Table / BuildTables / BatchBuilder (tables.go, batch.go):
+//     precomputed next-hop tables — the FIB a link-state daemon
+//     installs — built one owner at a time or 64 owners per
+//     word-parallel sweep, and kept fresh under churn by the
+//     epoch-swapped Store (store.go).
+//
 // The package also provides OLSR-style multipoint-relay flooding and
 // disjoint-path multipath routing with failure injection.
 package routing
@@ -13,11 +26,42 @@ import (
 	"remspan/internal/spanner"
 )
 
-// Route is the outcome of a greedy link-state forwarding simulation.
+// Route is the outcome of a link-state forwarding walk (greedy or
+// table-driven).
 type Route struct {
-	Path []int32 // s ... t (empty when !OK)
-	Hops int
-	OK   bool
+	Path   []int32 // s ... t (empty when !OK; scratch-owned on scratch paths)
+	Hops   int
+	OK     bool
+	Reason RouteReason // why forwarding stopped (RouteDelivered when OK)
+	At     int32       // node where the walk ended (t on delivery)
+}
+
+// RouteScratch holds the reusable traversal state of greedy routing:
+// one warm scratch routes any number of packets with zero allocations
+// (pinned by TestGreedyRouteZeroAlloc). Not safe for concurrent use;
+// the returned Route's Path is scratch-owned and valid until the next
+// call.
+type RouteScratch struct {
+	dist    []int32
+	queue   []int32
+	path    []int32
+	nbMark  []uint32 // epoch-stamped "is a G-neighbor of the hop owner"
+	nbEpoch uint32
+}
+
+// NewRouteScratch returns routing scratch for graphs with up to n
+// vertices.
+func NewRouteScratch(n int) *RouteScratch {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = graph.Unreached
+	}
+	return &RouteScratch{
+		dist:   d,
+		queue:  make([]int32, 0, n),
+		path:   make([]int32, 0, 16),
+		nbMark: make([]uint32, n),
+	}
 }
 
 // GreedyRoute simulates hop-by-hop greedy forwarding from s to t: the
@@ -25,25 +69,25 @@ type Route struct {
 // u's own view H_u (ties to the smallest id). This is exactly the
 // forwarding rule of §1; the paper shows the route length is at most
 // d_{H_s}(s, t).
-func GreedyRoute(g, h *graph.Graph, s, t int) Route {
+func (rs *RouteScratch) GreedyRoute(g, h graph.View, s, t int) Route {
+	rs.path = append(rs.path[:0], int32(s))
 	if s == t {
-		return Route{Path: []int32{int32(s)}, OK: true}
+		return Route{Path: rs.path, OK: true, At: int32(s)}
 	}
 	maxHops := g.N() + 1
-	path := []int32{int32(s)}
 	cur := s
 	for hops := 0; hops < maxHops; hops++ {
 		if cur == t {
-			return Route{Path: path, Hops: len(path) - 1, OK: true}
+			return Route{Path: rs.path, Hops: len(rs.path) - 1, OK: true, At: int32(t)}
 		}
-		if g.HasEdge(cur, t) {
-			path = append(path, int32(t))
+		if hasEdgeView(g, cur, t) {
+			rs.path = append(rs.path, int32(t))
 			cur = t
 			continue
 		}
 		// Distances from t in cur's own view H_cur (undirected, so a
 		// single BFS from t serves all of cur's neighbors).
-		d := viewBFSFrom(g, h, cur, t)
+		d := rs.viewBFSFrom(g, h, cur, t)
 		best, bestD := int32(-1), int32(-1)
 		for _, nb := range g.Neighbors(cur) {
 			dv := d[nb]
@@ -55,46 +99,65 @@ func GreedyRoute(g, h *graph.Graph, s, t int) Route {
 			}
 		}
 		if best == -1 {
-			return Route{}
+			return Route{Reason: RouteUnreachable, At: int32(cur)}
 		}
-		path = append(path, best)
+		rs.path = append(rs.path, best)
 		cur = int(best)
 	}
-	return Route{}
+	return Route{Reason: RouteTrapped, At: int32(cur)}
+}
+
+// GreedyRoute is the convenience form with fresh scratch (per-call
+// allocations; batch callers thread a RouteScratch instead).
+func GreedyRoute(g, h graph.View, s, t int) Route {
+	return NewRouteScratch(g.N()).GreedyRoute(g, h, s, t)
 }
 
 // viewBFSFrom returns distances from src in the view H_owner (H plus
-// owner's G-incident edges).
-func viewBFSFrom(g, h *graph.Graph, owner, src int) []int32 {
-	n := g.N()
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = graph.Unreached
+// owner's G-incident edges); the slice is valid until the next call.
+func (rs *RouteScratch) viewBFSFrom(g, h graph.View, owner, src int) []int32 {
+	for _, v := range rs.queue {
+		rs.dist[v] = graph.Unreached
 	}
-	dist[src] = 0
-	queue := []int32{int32(src)}
-	ownerNb := g.Neighbors(owner)
-	inOwnerNb := func(v int32) bool {
-		return g.HasEdge(owner, int(v))
-	}
-	for head := 0; head < len(queue); head++ {
-		x := queue[head]
-		push := func(v int32) {
-			if dist[v] == graph.Unreached {
-				dist[v] = dist[x] + 1
-				queue = append(queue, v)
-			}
+	rs.queue = rs.queue[:0]
+
+	// Epoch-stamp owner's G-neighbors so the star test inside the sweep
+	// is O(1) instead of a binary search per visited vertex.
+	rs.nbEpoch++
+	if rs.nbEpoch == 0 { // wrap: re-zero at a boundary with no live epochs
+		for i := range rs.nbMark {
+			rs.nbMark[i] = 0
 		}
+		rs.nbEpoch = 1
+	}
+	ownerNb := g.Neighbors(owner)
+	for _, v := range ownerNb {
+		rs.nbMark[v] = rs.nbEpoch
+	}
+
+	dist := rs.dist
+	dist[src] = 0
+	rs.queue = append(rs.queue, int32(src))
+	for head := 0; head < len(rs.queue); head++ {
+		x := rs.queue[head]
+		dx := dist[x] + 1
 		for _, v := range h.Neighbors(int(x)) {
-			push(v)
+			if dist[v] == graph.Unreached {
+				dist[v] = dx
+				rs.queue = append(rs.queue, v)
+			}
 		}
 		// Augmented edges: owner ↔ its G-neighbors.
 		if int(x) == owner {
 			for _, v := range ownerNb {
-				push(v)
+				if dist[v] == graph.Unreached {
+					dist[v] = dx
+					rs.queue = append(rs.queue, v)
+				}
 			}
-		} else if inOwnerNb(x) {
-			push(int32(owner))
+		} else if rs.nbMark[x] == rs.nbEpoch && dist[owner] == graph.Unreached {
+			dist[owner] = dx
+			rs.queue = append(rs.queue, int32(owner))
 		}
 	}
 	return dist
@@ -111,21 +174,22 @@ type StretchStats struct {
 
 // MeasureRouting runs GreedyRoute over the given pairs and compares the
 // hop counts with shortest-path distances in g.
-func MeasureRouting(g, h *graph.Graph, pairs [][2]int) StretchStats {
+func MeasureRouting(g, h graph.View, pairs [][2]int) StretchStats {
 	var st StretchStats
 	sum := 0.0
 	scratch := graph.NewBFSScratch(g.N())
+	rs := NewRouteScratch(g.N())
 	for _, p := range pairs {
 		s, t := p[0], p[1]
 		if s == t {
 			continue
 		}
-		dg, _, _ := scratch.Bounded(g, s, g.N())
+		dg, _, _ := scratch.BoundedView(g, s, g.N())
 		if dg[t] == graph.Unreached {
 			continue
 		}
 		st.Pairs++
-		r := GreedyRoute(g, h, s, t)
+		r := rs.GreedyRoute(g, h, s, t)
 		if !r.OK {
 			continue
 		}
@@ -148,7 +212,7 @@ func MeasureRouting(g, h *graph.Graph, pairs [][2]int) StretchStats {
 // AdvertisedCost returns the number of links a routing protocol floods
 // network-wide: the spanner's edge count for remote-spanner link-state
 // vs all edges for classic link-state. (Convenience for experiments.)
-func AdvertisedCost(g *graph.Graph, h *graph.EdgeSet) (spannerLinks, fullLinks int) {
+func AdvertisedCost(g graph.View, h *graph.EdgeSet) (spannerLinks, fullLinks int) {
 	return h.Len(), g.M()
 }
 

@@ -21,20 +21,27 @@ type MultipathReport struct {
 // disjoint routes exist in H_s whenever they exist in G (the
 // 2-connecting property), accumulates the d² length sums, and injects a
 // failure of the first internal relay of the primary route to confirm
-// the secondary route keeps s and t connected.
-func MeasureMultipath(g, h *graph.Graph, pairs [][2]int) MultipathReport {
+// the secondary route keeps s and t connected. Accepts any graph.View
+// pair (h ⊆ g); the max-flow core still runs on materialized adjacency
+// (a no-op for *graph.Graph inputs), and the fault-injection
+// reachability check runs on a reusable scratch instead of cloning the
+// view per trial.
+func MeasureMultipath(g, h graph.View, pairs [][2]int) MultipathReport {
 	var rep MultipathReport
+	gg := graph.FromView(g)
+	hh := graph.FromView(h)
+	scr := newAvoidScratch(g.N())
 	for _, p := range pairs {
 		s, t := p[0], p[1]
-		if s == t || g.HasEdge(s, t) {
+		if s == t || gg.HasEdge(s, t) {
 			continue
 		}
-		dg := flow.KDistance(g, s, t, 2)
+		dg := flow.KDistance(gg, s, t, 2)
 		if dg < 0 {
 			continue // not 2-connected in G
 		}
 		rep.Pairs++
-		hs := spanner.View(g, h, s)
+		hs := spanner.View(gg, hh, s)
 		res, ok := flow.VertexDisjointPaths(hs, s, t, 2)
 		if !ok {
 			continue
@@ -47,12 +54,54 @@ func MeasureMultipath(g, h *graph.Graph, pairs [][2]int) MultipathReport {
 		primary := res.Paths[0]
 		if len(primary) > 2 {
 			rep.FaultTrials++
-			failed := int(primary[1])
-			hsf := hs.RemoveVertex(failed)
-			if d := graph.BFS(hsf, s)[t]; d != graph.Unreached {
+			if scr.reaches(hs, s, t, int(primary[1])) {
 				rep.SurvivedFaults++
 			}
 		}
 	}
 	return rep
+}
+
+// avoidScratch is the reusable state of the fault-injection
+// reachability sweep: a BFS that treats one vertex as failed, without
+// materializing the vertex-deleted graph.
+type avoidScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+func newAvoidScratch(n int) *avoidScratch {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = graph.Unreached
+	}
+	return &avoidScratch{dist: d, queue: make([]int32, 0, n)}
+}
+
+// reaches reports whether t is reachable from s in v with the vertex
+// failed removed (s, t ≠ failed).
+func (a *avoidScratch) reaches(v graph.View, s, t, failed int) bool {
+	for _, x := range a.queue {
+		a.dist[x] = graph.Unreached
+	}
+	a.queue = a.queue[:0]
+
+	a.dist[s] = 0
+	a.queue = append(a.queue, int32(s))
+	for head := 0; head < len(a.queue); head++ {
+		x := a.queue[head]
+		for _, w := range v.Neighbors(int(x)) {
+			if int(w) == failed || a.dist[w] != graph.Unreached {
+				continue
+			}
+			if int(w) == t {
+				a.queue = append(a.queue, w)
+				a.dist[w] = a.dist[x] + 1
+				return true
+			}
+			a.dist[w] = a.dist[x] + 1
+			a.queue = append(a.queue, w)
+		}
+	}
+	return false
 }

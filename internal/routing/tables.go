@@ -1,108 +1,242 @@
 package routing
 
 import (
+	"slices"
+
 	"remspan/internal/graph"
 )
 
 // Table is one router's forwarding table: the next hop toward every
 // destination, derived from shortest paths in its own augmented view
 // H_u (what a link-state daemon actually installs in the FIB).
+//
+// Next hops follow one canonical rule shared by every builder in this
+// package (the scalar per-owner BFS and the 64-owner word-parallel
+// sweep of batch.go), so all of them produce bit-identical tables:
+//
+//   - Next[t] = t for t ∈ N_G(u) (d_{H_u}(u,t) = 1);
+//   - otherwise Next[t] = Next[p(t)], where p(t) is the smallest-id
+//     H-neighbor of t at depth d_{H_u}(u,t) − 1.
+//
+// Resolving the chain bottom-up in BFS level order makes the rule
+// iterative: p(t) is always finalized before t is visited, so no
+// recursion — and no O(diameter) call stack on path-like graphs — is
+// ever needed (regression-pinned by TestBuildTableDeepPath).
 type Table struct {
 	Owner int
 	Next  []int32 // Next[t] = neighbor to forward to, -1 unreachable, Owner for t==Owner
 	Dist  []int32 // believed distance in H_u
 }
 
-// BuildTable computes u's forwarding table over its view H_u.
-func BuildTable(g, h *graph.Graph, u int) Table {
-	n := g.N()
-	dist := make([]int32, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = graph.Unreached
-		parent[i] = -1
+// TableScratch holds the reusable traversal state of the scalar table
+// builder, so all-owners builds and incremental row rebuilds allocate
+// nothing once warm. Not safe for concurrent use.
+type TableScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+// NewTableScratch returns scratch space for graphs with up to n
+// vertices.
+func NewTableScratch(n int) *TableScratch {
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = graph.Unreached
 	}
-	dist[u] = 0
-	queue := make([]int32, 0, n)
-	queue = append(queue, int32(u))
-	// BFS in H_u: u's edges from g, the rest from h (smallest-id parent
-	// first, deterministic like graph.BFSTree).
+	return &TableScratch{dist: d, queue: make([]int32, 0, n)}
+}
+
+// BuildTableInto computes u's forwarding table over its view H_u into
+// the caller-provided rows next and dist (each of length ≥ n). u's
+// incident edges come from g, all other adjacency from h (h ⊆ g, the
+// advertised spanner).
+func (s *TableScratch) BuildTableInto(g, h graph.View, u int, next, dist []int32) {
+	n := g.N()
+	// Reset only what the previous build touched.
+	for _, v := range s.queue {
+		s.dist[v] = graph.Unreached
+	}
+	s.queue = s.queue[:0]
+
+	sd := s.dist
+	sd[u] = 0
+	s.queue = append(s.queue, int32(u))
+	// BFS in H_u: u's edges from g, the rest from h. Seeds enqueue in
+	// ascending id order (Neighbors slices are sorted), and the queue is
+	// level-ordered, so every depth d−1 vertex is visited before any
+	// depth d vertex.
 	for _, v := range g.Neighbors(u) {
-		if dist[v] == graph.Unreached {
-			dist[v] = 1
-			parent[v] = int32(u)
-			queue = append(queue, v)
+		if sd[v] == graph.Unreached {
+			sd[v] = 1
+			s.queue = append(s.queue, v)
 		}
 	}
-	for head := 1; head < len(queue); head++ {
-		x := queue[head]
+	for head := 1; head < len(s.queue); head++ {
+		x := s.queue[head]
 		for _, v := range h.Neighbors(int(x)) {
-			if dist[v] == graph.Unreached {
-				dist[v] = dist[x] + 1
-				parent[v] = x
-				queue = append(queue, v)
+			if sd[v] == graph.Unreached {
+				sd[v] = sd[x] + 1
+				s.queue = append(s.queue, v)
 			}
 		}
 	}
-	// Next hop: the depth-1 ancestor of each destination.
-	next := make([]int32, n)
-	for t := range next {
-		next[t] = -1
+
+	next = next[:n]
+	dist = dist[:n]
+	for i := range next {
+		next[i] = -1
+		dist[i] = graph.Unreached
 	}
 	next[u] = int32(u)
-	var resolve func(t int32) int32
-	resolve = func(t int32) int32 {
-		if next[t] != -1 {
-			return next[t]
+	dist[u] = 0
+	// Canonical next hops, resolved iteratively in BFS level order: a
+	// depth-1 destination is its own next hop; a deeper destination
+	// inherits the next hop of its smallest-id previous-level
+	// H-neighbor, which the level ordering has already finalized.
+	for _, v := range s.queue[1:] {
+		d := sd[v]
+		dist[v] = d
+		if d == 1 {
+			next[v] = v
+			continue
 		}
-		if parent[t] == int32(u) {
-			next[t] = t
-			return t
+		for _, x := range h.Neighbors(int(v)) {
+			if sd[x] == d-1 {
+				next[v] = next[x]
+				break
+			}
 		}
-		next[t] = resolve(parent[t])
-		return next[t]
 	}
-	for t := 0; t < n; t++ {
-		if dist[t] != graph.Unreached && t != u {
-			resolve(int32(t))
-		}
+}
+
+// BuildTable computes u's forwarding table over its view H_u,
+// allocating fresh rows and scratch (convenience form; batch callers
+// use a TableScratch or the word-parallel builder of batch.go).
+func BuildTable(g, h graph.View, u int) Table {
+	n := g.N()
+	s := NewTableScratch(n)
+	t := Table{Owner: u, Next: make([]int32, n), Dist: make([]int32, n)}
+	s.BuildTableInto(g, h, u, t.Next, t.Dist)
+	return t
+}
+
+// NewTables allocates an n-owner table set with backing rows, ready
+// for BuildTablesInto / BatchBuilder.BuildInto.
+func NewTables(n int) []Table {
+	out := make([]Table, n)
+	next := make([]int32, n*n)
+	dist := make([]int32, n*n)
+	for u := range out {
+		out[u] = Table{Owner: u, Next: next[u*n : (u+1)*n : (u+1)*n], Dist: dist[u*n : (u+1)*n : (u+1)*n]}
 	}
-	return Table{Owner: u, Next: next, Dist: dist}
+	return out
+}
+
+// BuildTablesInto computes every owner's table into tables (len n,
+// rows pre-sized) with one shared scratch — the scalar reference path
+// the batched builder is pinned against.
+func BuildTablesInto(g, h graph.View, tables []Table) {
+	s := NewTableScratch(g.N())
+	for u := 0; u < g.N(); u++ {
+		tables[u].Owner = u
+		s.BuildTableInto(g, h, u, tables[u].Next, tables[u].Dist)
+	}
 }
 
 // BuildTables computes every router's table.
-func BuildTables(g, h *graph.Graph) []Table {
-	out := make([]Table, g.N())
-	for u := 0; u < g.N(); u++ {
-		out[u] = BuildTable(g, h, u)
-	}
+func BuildTables(g, h graph.View) []Table {
+	out := NewTables(g.N())
+	BuildTablesInto(g, h, out)
 	return out
+}
+
+// RouteReason classifies the outcome of a table-driven forwarding walk,
+// distinguishing "the network genuinely has no route" from "the table
+// is stale relative to the physical graph" — the distinction the
+// epoch-swapped Store needs to trigger re-resolution instead of
+// reporting a bogus delivery failure.
+type RouteReason uint8
+
+// Route outcomes.
+const (
+	// RouteDelivered: the packet reached t.
+	RouteDelivered RouteReason = iota
+	// RouteUnreachable: a hop's table has no next hop for t (t is
+	// outside that hop's view component).
+	RouteUnreachable
+	// RouteStaleLink: a hop's table names a next hop that is not a
+	// current physical link — stale state, not missing connectivity.
+	RouteStaleLink
+	// RouteTrapped: the hop budget was exhausted without delivery
+	// (mutually inconsistent tables can loop; impossible within one
+	// coherently built table set over a remote-spanner).
+	RouteTrapped
+)
+
+// String returns the reason mnemonic.
+func (r RouteReason) String() string {
+	switch r {
+	case RouteDelivered:
+		return "delivered"
+	case RouteUnreachable:
+		return "unreachable"
+	case RouteStaleLink:
+		return "stale-link"
+	case RouteTrapped:
+		return "trapped"
+	default:
+		return "unknown"
+	}
+}
+
+// hasEdgeView reports whether {u, v} is an edge of the view (binary
+// search on the sorted adjacency row).
+func hasEdgeView(v graph.View, a, b int) bool {
+	if a == b {
+		return false
+	}
+	_, ok := slices.BinarySearch(v.Neighbors(a), int32(b))
+	return ok
 }
 
 // TableRoute forwards a packet hop by hop, each hop consulting its own
 // table — the production data path of link-state routing. The
 // remote-spanner property guarantees loop-free delivery with route
 // length at most d_{H_s}(s, t): each hop's believed distance strictly
-// decreases (d_{H_{u'}}(u', t) ≤ d_{H_u}(u, t) − 1, §1).
-func TableRoute(tables []Table, g *graph.Graph, s, t int) Route {
+// decreases (d_{H_{u'}}(u', t) ≤ d_{H_u}(u, t) − 1, §1). Every next
+// hop is validated against the physical view g; failures carry a typed
+// Reason and the node At which forwarding stopped, so callers can tell
+// delivery failure (RouteUnreachable) from stale table state
+// (RouteStaleLink).
+func TableRoute(tables []Table, g graph.View, s, t int) Route {
+	return tableRouteInto(tables, g, s, t, make([]int32, 0, 8))
+}
+
+// tableRouteInto is the one forwarding walk every table-driven data
+// path shares (TableRoute, Reader.Route, Reader.RouteOn), appending
+// into a caller-owned path buffer — the Store's reader hot path, zero
+// allocations once the buffer is warm. A nil g skips the physical
+// link validation (the Store's epoch-internal walk); failures return
+// no path.
+func tableRouteInto(tables []Table, g graph.View, s, t int, path []int32) Route {
+	path = append(path[:0], int32(s))
 	if s == t {
-		return Route{Path: []int32{int32(s)}, OK: true}
+		return Route{Path: path, OK: true, At: int32(s)}
 	}
-	path := []int32{int32(s)}
 	cur := s
-	for hops := 0; hops <= g.N(); hops++ {
+	for hops := 0; hops <= len(tables); hops++ {
 		if cur == t {
-			return Route{Path: path, Hops: len(path) - 1, OK: true}
+			return Route{Path: path, Hops: len(path) - 1, OK: true, At: int32(t)}
 		}
 		nh := tables[cur].Next[t]
 		if nh < 0 {
-			return Route{}
+			return Route{Reason: RouteUnreachable, At: int32(cur)}
 		}
-		if !g.HasEdge(cur, int(nh)) {
-			return Route{} // table references a non-link (stale/bad input)
+		if g != nil && !hasEdgeView(g, cur, int(nh)) {
+			return Route{Reason: RouteStaleLink, At: int32(cur)}
 		}
 		path = append(path, nh)
 		cur = int(nh)
 	}
-	return Route{}
+	return Route{Reason: RouteTrapped, At: int32(cur)}
 }

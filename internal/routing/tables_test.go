@@ -131,6 +131,83 @@ func TestTableRouteAgreesWithGreedyOnGuarantee(t *testing.T) {
 	}
 }
 
+// TestBuildTableDeepPath is the stack-safety regression for the
+// next-hop resolution: on a 50k-vertex path graph the seed-era
+// recursive resolve chained one stack frame per path vertex; the
+// canonical rule resolves iteratively in BFS level order, so arbitrary
+// depth costs O(1) stack. Both builders and the end-to-end route are
+// exercised at full depth.
+func TestBuildTableDeepPath(t *testing.T) {
+	const n = 50_000
+	g := gen.Path(n)
+	h := g.Clone()
+	tab := BuildTable(g, h, 0)
+	for v := 1; v < n; v++ {
+		if tab.Dist[v] != int32(v) || tab.Next[v] != 1 {
+			t.Fatalf("owner 0 dest %d: (next %d, dist %d), want (1, %d)", v, tab.Next[v], tab.Dist[v], v)
+		}
+	}
+	// Batched, subset form: one owner, full-depth sweep.
+	all := make([]Table, n)
+	all[0] = Table{Next: make([]int32, n), Dist: make([]int32, n)}
+	NewBatchBuilder(n).BuildInto(g, h, all, []int32{0})
+	for v := 0; v < n; v++ {
+		if all[0].Next[v] != tab.Next[v] || all[0].Dist[v] != tab.Dist[v] {
+			t.Fatalf("batched deep path diverges at %d", v)
+		}
+	}
+	// End-to-end full-length walk (all-owners tables, so a smaller
+	// path: the stack-depth regression above is what needs 50k).
+	const wn = 3000
+	wg := gen.Path(wn)
+	tables := BuildTables(wg, wg.Clone())
+	r := TableRoute(tables, wg, 0, wn-1)
+	if !r.OK || r.Hops != wn-1 {
+		t.Fatalf("deep route: ok=%v hops=%d reason=%v", r.OK, r.Hops, r.Reason)
+	}
+}
+
+// TestTableRouteReasons pins the typed failure contract: genuinely
+// missing connectivity, stale table state, and inconsistent-table
+// loops are distinguishable, with the failing node reported.
+func TestTableRouteReasons(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3) // 4 isolated
+	tables := BuildTables(g, g.Clone())
+
+	if r := TableRoute(tables, g, 0, 4); r.OK || r.Reason != RouteUnreachable || r.At != 0 {
+		t.Fatalf("unreachable: %+v", r)
+	}
+	// The physical link {1,2} vanishes; node 1's table still names 2.
+	phys := g.Clone()
+	phys.RemoveEdge(1, 2)
+	if r := TableRoute(tables, phys, 0, 3); r.OK || r.Reason != RouteStaleLink || r.At != 1 {
+		t.Fatalf("stale: %+v", r)
+	}
+	// Forged mutually-inconsistent tables: 0 and 1 point at each other.
+	forged := BuildTables(g, g.Clone())
+	forged[0].Next[3] = 1
+	forged[1].Next[3] = 0
+	if r := TableRoute(forged, g, 0, 3); r.OK || r.Reason != RouteTrapped {
+		t.Fatalf("trapped: %+v", r)
+	}
+	// Delivery reports RouteDelivered.
+	if r := TableRoute(tables, g, 0, 3); !r.OK || r.Reason != RouteDelivered || r.At != 3 {
+		t.Fatalf("delivered: %+v", r)
+	}
+	for _, want := range []struct {
+		r    RouteReason
+		name string
+	}{{RouteDelivered, "delivered"}, {RouteUnreachable, "unreachable"},
+		{RouteStaleLink, "stale-link"}, {RouteTrapped, "trapped"}, {RouteReason(99), "unknown"}} {
+		if want.r.String() != want.name {
+			t.Fatalf("RouteReason(%d).String() = %q", want.r, want.r.String())
+		}
+	}
+}
+
 func TestTableRouteUnreachable(t *testing.T) {
 	g := graph.New(4)
 	g.AddEdge(0, 1)
