@@ -36,6 +36,14 @@
 // mobility-driven churn through the epoch-swapped routing.Store —
 // writer tick cost, lock-free query throughput, and the stale-route
 // window between a physical change and the next control-plane batch.
+// The replicated section (DESIGN.md §3f) runs the same live workload
+// through the fault-tolerant replica tier: one writer shipping epoch
+// diffs to N read replicas, GOMAXPROCS failover clients hammering the
+// lock-free query surface concurrently, once on a clean transport and
+// once under seeded faults (drop+delay plus a scripted crash and
+// partition) — recording aggregate QPS, delta-vs-full shipping words,
+// the stale-read SLO (fresh fraction, lag histogram tail, degraded and
+// failed counts) and the recovery time back to lag 0 after heal.
 //
 // -quick replaces testing.Benchmark with one timed iteration per cell —
 // the smoke-test and CI mode.
@@ -51,6 +59,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -62,6 +71,7 @@ import (
 	"remspan/internal/graph"
 	"remspan/internal/mobility"
 	"remspan/internal/oracle"
+	"remspan/internal/replica"
 	"remspan/internal/routing"
 	"remspan/internal/spanner"
 )
@@ -214,6 +224,7 @@ func main() {
 	routingQueries := flag.Int("routing-queries", 1024, "routing suite: store queries per tick")
 	routingLiveDeg := flag.Int("routing-live-deg", 8, "routing suite: target average UDG degree of the mobility fleet (the distsim live workload)")
 	routingOwnerCap := flag.Int("routing-owner-cap", 10000, "routing suite: max owners per table-construction cell (a full n-owner FIB is n² state, so 50k samples a ball-clustered subset)")
+	routingReplicas := flag.Int("routing-replicas", 4, "routing suite: read replicas in the replicated-tier cells")
 	quick := flag.Bool("quick", false, "one timed iteration per cell instead of testing.Benchmark (smoke/CI mode)")
 	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
@@ -234,7 +245,7 @@ func main() {
 		data = runDistsim(parseSizes(*dsizes), *distsimDeg, *seed, *distsimTicks)
 	case "routing":
 		data = runRouting(parseSizes(*rsizes), parseSizes(*rlsizes), *routingDeg, *routingLiveDeg, *seed,
-			*routingTicks, *routingQueries, *routingOwnerCap)
+			*routingTicks, *routingQueries, *routingOwnerCap, *routingReplicas)
 	default:
 		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q\n", *suite)
 		os.Exit(1)
@@ -794,6 +805,35 @@ type routingLiveRecord struct {
 	EpochSeq           uint64  `json:"final_epoch"`
 }
 
+// routingReplicatedRecord is one replicated-tier cell: N replicas
+// under live churn, concurrent failover clients, with or without
+// transport faults.
+type routingReplicatedRecord struct {
+	Mode          string  `json:"mode"` // "replicated"
+	N             int     `json:"n"`
+	Replicas      int     `json:"replicas"`
+	Ticks         int     `json:"ticks"`
+	Faults        bool    `json:"faults"`
+	Clients       int     `json:"clients"`         // concurrent client goroutines
+	QueriesPerSec float64 `json:"queries_per_sec"` // aggregate across clients
+	NsPerQuery    float64 `json:"ns_per_query"`
+	NsPerTick     float64 `json:"ns_per_tick"` // writer apply + ship + transport + replica apply
+	// Shipping traffic (int32 words, the distsim accounting unit).
+	DeltaWordsPerTick float64 `json:"delta_words_per_tick"`
+	FullResyncs       int     `json:"full_resyncs"` // bootstrap + crash/gap recoveries
+	FullWords         int64   `json:"full_words_total"`
+	// Stale-read SLO.
+	FreshFraction float64 `json:"fresh_fraction"` // table-served queries at lag 0
+	LagMax        uint64  `json:"lag_max"`
+	Degraded      int64   `json:"degraded_queries"`
+	Failed        int64   `json:"failed_queries"`
+	Hedges        int64   `json:"hedges"`
+	Backoffs      int64   `json:"backoffs"`
+	// Recovery: ticks from the heal tick until every live replica is
+	// back to lag 0 (-1: never within the run; 0: clean run).
+	RecoveryTicks int `json:"recovery_ticks"`
+}
+
 type routingReport struct {
 	Context struct {
 		Sizes      []int  `json:"sizes"`
@@ -804,17 +844,19 @@ type routingReport struct {
 		Ticks      int    `json:"live_ticks"`
 		Queries    int    `json:"queries_per_tick"`
 		OwnerCap   int    `json:"owner_cap"`
+		Replicas   int    `json:"replicas"`
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"context"`
-	Build []routingBuildRecord `json:"build"`
-	Live  []routingLiveRecord  `json:"live"`
+	Build      []routingBuildRecord      `json:"build"`
+	Live       []routingLiveRecord       `json:"live"`
+	Replicated []routingReplicatedRecord `json:"replicated"`
 }
 
 // runRouting benchmarks the forwarding plane: table construction
 // (scalar vs word-parallel) on the two §4 workload families, and the
 // epoch-swapped routing.Store under mobility-driven churn.
-func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, queries, ownerCap int) []byte {
+func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, queries, ownerCap, nrep int) []byte {
 	var rep routingReport
 	if quickMode && ticks > 10 {
 		ticks = 10
@@ -827,6 +869,7 @@ func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, que
 	rep.Context.Ticks = ticks
 	rep.Context.Queries = queries
 	rep.Context.OwnerCap = ownerCap
+	rep.Context.Replicas = nrep
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
@@ -849,7 +892,140 @@ func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, que
 	for _, n := range liveSizes {
 		rep.Live = append(rep.Live, runRoutingLive(n, liveDeg, seed, ticks, queries))
 	}
+	// Replicated tier on the smallest live size: N replicas are N full
+	// table sets, so the cell is sized for memory, not for n-scaling
+	// (the per-replica query path is the same lock-free walk the live
+	// section already scales).
+	if len(liveSizes) > 0 {
+		n := liveSizes[0]
+		for _, faults := range []bool{false, true} {
+			rep.Replicated = append(rep.Replicated,
+				runRoutingReplicated(n, liveDeg, seed, ticks, queries, nrep, faults))
+		}
+	}
 	return marshal(&rep)
+}
+
+// runRoutingReplicated drives the fault-tolerant replica tier
+// (DESIGN.md §3f) under the same mobility workload as runRoutingLive:
+// each tick the writer applies the unit-disk diff and ships the epoch
+// diff to nrep replicas through the (possibly faulty) transport, then
+// GOMAXPROCS failover clients — one per goroutine, each with its own
+// SLO accounting, merged at the end — run a concurrent query burst
+// against the replicas' lock-free surface. The faulty arm adds 5%
+// drop, 20% delay, a replica crash at ticks/4 (restart at ticks/2) and
+// a partition at ticks/3 (healed at ticks/2), then measures how many
+// ticks past the heal the cluster needs to return every live replica
+// to lag 0.
+func runRoutingReplicated(n, deg int, seed int64, ticks, queries, nrep int, faults bool) routingReplicatedRecord {
+	const minSpeed, maxSpeed = 0.01, 0.05
+	side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+	rng := rand.New(rand.NewSource(seed))
+	w := mobility.NewWaypoint(n, side, minSpeed, maxSpeed, rng)
+	tr := mobility.NewTracker(w, 1.0)
+	bb := dynamic.Builders()[0] // kgreedy1
+
+	st := routing.NewStore(dynamic.New(tr.Graph(), bb.Radius, bb.Build))
+	plan := replica.FaultPlan{Seed: seed + 7}
+	if faults {
+		plan.DropProb = 0.05
+		plan.DelayProb = 0.2
+		plan.DelayMax = 2
+	}
+	c := replica.NewCluster(st, nrep, plan)
+
+	nw := runtime.GOMAXPROCS(0)
+	if nw > 8 {
+		nw = 8
+	}
+	clients := make([]*replica.Client, nw)
+	qrngs := make([]*rand.Rand, nw)
+	for i := range clients {
+		clients[i] = replica.NewClient(c, replica.DefaultClientConfig(seed+int64(i)))
+		qrngs[i] = rand.New(rand.NewSource(seed + 100 + int64(i)))
+	}
+
+	healTick := ticks / 2
+	crashAt, partAt := ticks/4, ticks/3
+	victim, cut := 1%nrep, 2%nrep
+	recovery := -1
+	if !faults {
+		recovery = 0
+	}
+
+	var tickNs, queryNs, queriesRun int64
+	changesBuf := make([]dynamic.Change, 0, 1024)
+	var wg sync.WaitGroup
+	for tick := 0; tick < ticks; tick++ {
+		if faults {
+			if tick == crashAt {
+				c.Replicas[victim].Crash()
+			}
+			if tick == partAt {
+				c.Inj.Partition(cut, true)
+			}
+			if tick == healTick {
+				c.Replicas[victim].Restart()
+				c.Inj.Partition(cut, false)
+				c.Inj.Heal()
+			}
+		}
+		added, removed := tr.Tick()
+		changesBuf = changesBuf[:0]
+		for _, p := range removed {
+			changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.RemoveEdge, U: int(p[0]), V: int(p[1])})
+		}
+		for _, p := range added {
+			changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.AddEdge, U: int(p[0]), V: int(p[1])})
+		}
+		t0 := time.Now()
+		c.Tick(changesBuf)
+		tickNs += time.Since(t0).Nanoseconds()
+		if faults && recovery < 0 && tick >= healTick && c.MaxLag() == 0 {
+			recovery = tick - healTick
+		}
+		// Concurrent burst: every client goroutine issues its share of
+		// the tick's queries against the lock-free replica surface.
+		t0 = time.Now()
+		for i := 0; i < nw; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cl, qr := clients[i], qrngs[i]
+				cl.Tick()
+				for q := 0; q < queries; q++ {
+					cl.Route(qr.Intn(n), qr.Intn(n))
+				}
+			}(i)
+		}
+		wg.Wait()
+		queryNs += time.Since(t0).Nanoseconds()
+		queriesRun += int64(nw * queries)
+	}
+
+	var slo replica.SLOStats
+	for _, cl := range clients {
+		slo.MergeSLO(&cl.SLO)
+	}
+	rec := routingReplicatedRecord{
+		Mode: "replicated", N: n, Replicas: nrep, Ticks: ticks, Faults: faults, Clients: nw,
+		QueriesPerSec:     1e9 * float64(queriesRun) / float64(queryNs),
+		NsPerQuery:        float64(queryNs) / float64(queriesRun),
+		NsPerTick:         float64(tickNs) / float64(ticks),
+		DeltaWordsPerTick: float64(c.W.DeltaWords) / float64(nrep) / float64(ticks),
+		FullResyncs:       c.W.FullShipments,
+		FullWords:         c.W.FullWords,
+		FreshFraction:     slo.FreshFraction(),
+		LagMax:            slo.LagMax,
+		Degraded:          slo.Degraded,
+		Failed:            slo.Failed,
+		Hedges:            slo.Hedges,
+		Backoffs:          slo.Backoffs,
+		RecoveryTicks:     recovery,
+	}
+	fmt.Fprintf(os.Stderr, "routing repl  n=%-6d reps=%d faults=%-5v %10.0f queries/sec fresh %.3f degraded %d recovery %d ticks\n",
+		n, nrep, faults, rec.QueriesPerSec, rec.FreshFraction, rec.Degraded, rec.RecoveryTicks)
+	return rec
 }
 
 // runRoutingBuild measures one workload's table construction, scalar

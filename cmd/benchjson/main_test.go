@@ -65,7 +65,9 @@ func TestDistsimSuiteSmoke(t *testing.T) {
 }
 
 func TestRoutingSuiteSmoke(t *testing.T) {
-	doc := runQuick(t, func() []byte { return runRouting([]int{300}, []int{200}, 24, 8, 1, 5, 64, 4096) })
+	// 10 ticks: the faulty replicated arm heals at ticks/2 and needs a
+	// gapPatience-bounded window after that to resync back to lag 0.
+	doc := runQuick(t, func() []byte { return runRouting([]int{300}, []int{200}, 24, 8, 1, 10, 64, 4096, 4) })
 	// 2 workloads × 2 engines build, 1 live row.
 	build := doc["build"].([]any)
 	if len(build) != 4 {
@@ -87,5 +89,27 @@ func TestRoutingSuiteSmoke(t *testing.T) {
 	}
 	if row["queries_per_sec"].(float64) <= 0 {
 		t.Fatalf("no query throughput measured: %v", row)
+	}
+	// Replicated tier: clean + faulty arm on the smallest live size.
+	repl := doc["replicated"].([]any)
+	if len(repl) != 2 {
+		t.Fatalf("routing suite emitted %d replicated records, want 2", len(repl))
+	}
+	for _, rec := range repl {
+		row := rec.(map[string]any)
+		if row["queries_per_sec"].(float64) <= 0 {
+			t.Fatalf("replicated arm measured no throughput: %v", row)
+		}
+		if row["failed_queries"].(float64) != 0 {
+			t.Fatalf("replicated arm dropped queries on the floor: %v", row)
+		}
+		faults := row["faults"].(bool)
+		rt := row["recovery_ticks"].(float64)
+		if !faults && rt != 0 {
+			t.Fatalf("clean arm reports recovery ticks: %v", row)
+		}
+		if faults && rt < 0 {
+			t.Fatalf("faulty arm never recovered to lag 0: %v", row)
+		}
 	}
 }

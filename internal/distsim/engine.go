@@ -96,6 +96,12 @@ type Engine struct {
 	readvEpoch uint32
 	refloods   []int32 // dirty roots whose tree actually changed
 	changedBuf []bool  // per-dirty-root rebuild results, capacity reused
+
+	// Lossy re-flood state: roots whose re-advertisement was dropped,
+	// retransmitted (rebuilt against the then-current topology) next
+	// tick. Buffers reused across ticks.
+	pend, pendNext []int32
+	rootsBuf       []int32
 }
 
 // NewEngine returns an engine over a clone of g. radius is the
@@ -393,8 +399,9 @@ func FullLinkState(v graph.View) (messages, words int64) {
 // TickStats reports one live re-advertisement tick.
 type TickStats struct {
 	Applied    int   // topology changes that had an effect
-	DirtyRoots int   // roots whose radius-R ball the changes touched
-	Refloods   int   // dirty roots whose tree actually changed
+	DirtyRoots int   // roots due a rebuild: dirty balls + lost-re-flood retransmissions
+	Refloods   int   // due roots whose tree actually changed and re-flooded
+	Lost       int   // re-advertisements dropped this tick (retransmitted next tick)
 	Messages   int64 // incremental RemSpan re-advertisement messages
 	Words      int64 // incremental RemSpan re-advertisement words
 	FullMsgs   int64 // full link-state re-flood of the same changes
@@ -436,6 +443,21 @@ func (e *Engine) noteReadv(x int) {
 // protocol re-floods each changed vertex's link-state advertisement
 // through the entire network.
 func (e *Engine) Reflood(changes []dynamic.Change) TickStats {
+	return e.RefloodLossy(changes, nil)
+}
+
+// RefloodLossy is Reflood under an unreliable re-advertisement
+// channel: drop (seeded by the caller, so runs replay exactly) is
+// consulted once per due root, and a dropped root's re-flood is lost —
+// its tree is not recomputed or re-advertised this tick, the rest of
+// the network keeps its previous tree, and the root retransmits next
+// tick, rebuilding against the topology current then (periodic
+// re-advertisement, the standard link-state recovery). Lost roots are
+// counted in TickStats.Lost and merged into the next tick's due set,
+// so once the loss stops the spanner reconverges to the maintainer
+// ground truth within one tick (pinned by
+// TestRefloodLossyConvergence). A nil drop is exactly Reflood.
+func (e *Engine) RefloodLossy(changes []dynamic.Change, drop func(root int32) bool) TickStats {
 	e.beginTick()
 	e.dirty.ResetUnion()
 	var st TickStats
@@ -455,13 +477,39 @@ func (e *Engine) Reflood(changes []dynamic.Change) TickStats {
 			}
 		}
 	}
-	if st.Applied == 0 {
+	if st.Applied == 0 && len(e.pend) == 0 {
 		return st
 	}
-	e.patched = true
+	if st.Applied > 0 {
+		e.patched = true
+	}
 
 	roots := e.dirty.UnionSorted()
-	st.DirtyRoots = len(roots)
+	if len(e.pend) > 0 || drop != nil {
+		// Work on an engine-owned copy: merge in last tick's lost
+		// roots, then carve out this tick's losses. The scratch-owned
+		// union slice is never mutated.
+		merged := append(e.rootsBuf[:0], roots...)
+		merged = append(merged, e.pend...)
+		slices.Sort(merged)
+		merged = slices.Compact(merged)
+		e.rootsBuf = merged
+		e.pendNext = e.pendNext[:0]
+		kept := merged[:0]
+		for _, u := range merged {
+			if drop != nil && drop(u) {
+				e.pendNext = append(e.pendNext, u)
+				continue
+			}
+			kept = append(kept, u)
+		}
+		st.DirtyRoots = len(kept) + len(e.pendNext)
+		st.Lost = len(e.pendNext)
+		e.pend, e.pendNext = e.pendNext, e.pend[:0]
+		roots = kept
+	} else {
+		st.DirtyRoots = len(roots)
+	}
 	if workerCount(len(roots)) == 1 {
 		// Direct loop — the steady-state zero-allocation path (even the
 		// fan-out closure would allocate; pinned by TestEngineTickZeroAlloc).

@@ -284,3 +284,87 @@ func TestBallDepthInvariant(t *testing.T) {
 	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
 	RunRemSpan(g, 2, misCSR(3))
 }
+
+// TestRefloodLossyConvergence drives the engine through churn with a
+// seeded lossy re-advertisement channel: dropped roots keep their
+// stale trees (the rest of the network never hears the update), are
+// counted in Lost, and retransmit next tick. Once the loss stops, one
+// clean tick flushes the retransmission backlog and the spanner — and
+// every per-root tree — is bit-identical to the dynamic.Maintainer
+// ground truth again. The whole run replays exactly under the seed.
+func TestRefloodLossyConvergence(t *testing.T) {
+	run := func() (totalLost int, lostTicks int) {
+		rng := rand.New(rand.NewSource(61))
+		g := randomConnected(40, 70, rng)
+		e := NewEngine(g, 1, kgreedyCSR(1))
+		e.Run()
+		m := dynamic.New(g, 1, dynamic.Builders()[0].Build)
+
+		dropRng := rand.New(rand.NewSource(62))
+		drop := func(root int32) bool { return dropRng.Intn(100) < 40 }
+
+		for step := 0; step < 10; step++ {
+			batch := make([]dynamic.Change, 0, 6)
+			for len(batch) < cap(batch) {
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				if u == v {
+					continue
+				}
+				kind := dynamic.AddEdge
+				if e.Graph().HasEdge(u, v) {
+					kind = dynamic.RemoveEdge
+				}
+				batch = append(batch, dynamic.Change{Kind: kind, U: u, V: v})
+			}
+			st := e.RefloodLossy(batch, drop)
+			m.ApplyBatch(batch)
+			if st.Lost > 0 {
+				totalLost += st.Lost
+				lostTicks++
+			}
+			if st.Refloods > st.DirtyRoots-st.Lost {
+				t.Fatalf("step %d: refloods %d exceed surviving roots %d",
+					step, st.Refloods, st.DirtyRoots-st.Lost)
+			}
+		}
+
+		// Channel heals: one empty tick retransmits the backlog.
+		st := e.RefloodLossy(nil, nil)
+		if st.Applied != 0 {
+			t.Fatalf("heal tick applied %d changes", st.Applied)
+		}
+		if st.Lost != 0 {
+			t.Fatalf("heal tick lost %d re-advertisements on a clean channel", st.Lost)
+		}
+		if !edgeSetsEqual(e.Spanner(), m.Spanner()) {
+			t.Fatal("spanner did not reconverge to maintainer after channel healed")
+		}
+		for u := 0; u < g.N(); u++ {
+			pairs, want := e.TreeOf(u), m.TreeOf(u)
+			if len(pairs) != 2*len(want) {
+				t.Fatalf("root %d: tree size %d vs %d after heal", u, len(pairs)/2, len(want))
+			}
+			for i, p := range want {
+				if pairs[2*i] != p[0] || pairs[2*i+1] != p[1] {
+					t.Fatalf("root %d: tree edge %d differs after heal", u, i)
+				}
+			}
+		}
+
+		// A second clean tick is a true no-op: the backlog is flushed.
+		st = e.Reflood(nil)
+		if st.DirtyRoots != 0 || st.Refloods != 0 || st.Words != 0 {
+			t.Fatalf("post-heal tick not quiescent: %+v", st)
+		}
+		return totalLost, lostTicks
+	}
+
+	lost1, ticks1 := run()
+	if lost1 == 0 {
+		t.Fatal("lossy channel never dropped a re-advertisement")
+	}
+	lost2, ticks2 := run()
+	if lost1 != lost2 || ticks1 != ticks2 {
+		t.Fatalf("lossy run not deterministic: (%d,%d) vs (%d,%d)", lost1, ticks1, lost2, ticks2)
+	}
+}

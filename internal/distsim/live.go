@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -38,16 +39,52 @@ type LiveReport struct {
 	PerTick    []TickStats
 }
 
+// ConfigError reports which LiveConfig field made a live run
+// unrunnable, with the offending value — a serving process can log and
+// reject the request instead of dying on a panic.
+type ConfigError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("distsim: bad live config: %s=%v (%s)", e.Field, e.Value, e.Reason)
+}
+
+// validate checks every LiveConfig precondition the run (and the
+// mobility primitives it constructs) relies on.
+func (cfg *LiveConfig) validate() error {
+	switch {
+	case cfg.N < 2:
+		return &ConfigError{Field: "N", Value: cfg.N, Reason: "need at least 2 nodes"}
+	case cfg.Degree <= 0:
+		return &ConfigError{Field: "Degree", Value: cfg.Degree, Reason: "target mean degree must be positive"}
+	case cfg.Ticks < 0:
+		return &ConfigError{Field: "Ticks", Value: cfg.Ticks, Reason: "tick count cannot be negative"}
+	case cfg.MinSpeed < 0:
+		return &ConfigError{Field: "MinSpeed", Value: cfg.MinSpeed, Reason: "speed cannot be negative"}
+	case cfg.MaxSpeed < cfg.MinSpeed:
+		return &ConfigError{Field: "MaxSpeed", Value: cfg.MaxSpeed, Reason: "below MinSpeed"}
+	case cfg.Radius < 1:
+		return &ConfigError{Field: "Radius", Value: cfg.Radius, Reason: "flooding radius must be >= 1"}
+	case cfg.Build == nil:
+		return &ConfigError{Field: "Build", Value: nil, Reason: "tree builder is required"}
+	}
+	return nil
+}
+
 // LiveRun drives a mobile network: each tick the waypoint model moves
 // every node, the unit-disk tracker emits the edge diff, and the engine
 // refloods — only dirty roots recompute, only changed trees re-
 // advertise. observe (optional) is called after every tick with the
 // tick's change batch (valid during the call) and the engine, so tests
 // pin each tick's spanner against dynamic.Maintainer ground truth and
-// experiments sample protocol state mid-flight.
-func LiveRun(cfg LiveConfig, observe func(tick int, changes []dynamic.Change, e *Engine)) *LiveReport {
-	if cfg.N < 2 || cfg.Ticks < 0 || cfg.Degree <= 0 {
-		panic("distsim: bad live config")
+// experiments sample protocol state mid-flight. An invalid config
+// returns a *ConfigError naming the offending field.
+func LiveRun(cfg LiveConfig, observe func(tick int, changes []dynamic.Change, e *Engine)) (*LiveReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	side := math.Sqrt(math.Pi * float64(cfg.N) / cfg.Degree)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -83,5 +120,5 @@ func LiveRun(cfg LiveConfig, observe func(tick int, changes []dynamic.Change, e 
 			observe(tick, changes, e)
 		}
 	}
-	return rep
+	return rep, nil
 }

@@ -20,7 +20,7 @@ func TestLiveRunPinnedToMaintainer(t *testing.T) {
 	}
 	var m *dynamic.Maintainer
 	checked := 0
-	rep := LiveRun(cfg, func(tick int, changes []dynamic.Change, e *Engine) {
+	rep, err := LiveRun(cfg, func(tick int, changes []dynamic.Change, e *Engine) {
 		if m == nil {
 			// Ground truth starts from the engine's initial topology:
 			// rewind the tick's changes to recover it.
@@ -40,6 +40,9 @@ func TestLiveRunPinnedToMaintainer(t *testing.T) {
 		}
 		checked++
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if checked != cfg.Ticks {
 		t.Fatalf("observed %d ticks, want %d", checked, cfg.Ticks)
 	}
@@ -83,10 +86,64 @@ func TestLiveRunDeterministic(t *testing.T) {
 		Ticks: 10, Seed: 9,
 		Radius: 2, Build: kmisCSR(2),
 	}
-	a := LiveRun(cfg, nil)
-	b := LiveRun(cfg, nil)
+	a, errA := LiveRun(cfg, nil)
+	b, errB := LiveRun(cfg, nil)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if a.Changes != b.Changes || a.Words != b.Words || a.DirtyRoots != b.DirtyRoots ||
 		a.Refloods != b.Refloods || a.FullWords != b.FullWords {
 		t.Fatalf("live runs diverged: %+v vs %+v", a, b)
 	}
+}
+
+// TestLiveRunConfigErrors: every invalid config is rejected with a
+// typed *ConfigError naming the offending field — never a panic.
+func TestLiveRunConfigErrors(t *testing.T) {
+	valid := LiveConfig{
+		N: 50, Degree: 8, MinSpeed: 0.01, MaxSpeed: 0.05,
+		Ticks: 1, Seed: 1, Radius: 1, Build: kgreedyCSR(1),
+	}
+	cases := []struct {
+		field  string
+		mutate func(*LiveConfig)
+	}{
+		{"N", func(c *LiveConfig) { c.N = 1 }},
+		{"Degree", func(c *LiveConfig) { c.Degree = 0 }},
+		{"Ticks", func(c *LiveConfig) { c.Ticks = -1 }},
+		{"MinSpeed", func(c *LiveConfig) { c.MinSpeed = -0.1 }},
+		{"MaxSpeed", func(c *LiveConfig) { c.MaxSpeed = c.MinSpeed / 2 }},
+		{"Radius", func(c *LiveConfig) { c.Radius = 0 }},
+		{"Build", func(c *LiveConfig) { c.Build = nil }},
+	}
+	for _, tc := range cases {
+		cfg := valid
+		tc.mutate(&cfg)
+		rep, err := LiveRun(cfg, nil)
+		if rep != nil || err == nil {
+			t.Fatalf("%s: expected rejection, got rep=%v err=%v", tc.field, rep, err)
+		}
+		var ce *ConfigError
+		if !errorsAs(err, &ce) {
+			t.Fatalf("%s: error %v is not a *ConfigError", tc.field, err)
+		}
+		if ce.Field != tc.field {
+			t.Fatalf("error blames field %q, want %q (%v)", ce.Field, tc.field, err)
+		}
+		if ce.Error() == "" || ce.Reason == "" {
+			t.Fatalf("%s: undescriptive error %+v", tc.field, ce)
+		}
+	}
+	if _, err := LiveRun(valid, nil); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// errorsAs avoids importing errors just for the assertion above.
+func errorsAs(err error, target **ConfigError) bool {
+	ce, ok := err.(*ConfigError)
+	if ok {
+		*target = ce
+	}
+	return ok
 }

@@ -78,7 +78,8 @@ func Figure1(cfg Config) (*stats.Table, error) {
 	hdG := hd.Graph()
 	d2g := flow.KDistance(g, u, v, 2)
 	hdu := spanner.View(g, hdG, u)
-	res, ok := flow.VertexDisjointPaths(hdu, u, v, 2)
+	res, ok, err := flow.VertexDisjointPaths(hdu, u, v, 2)
+	ok = ok && err == nil
 	claim := fmt.Sprintf("2 disjoint u→v paths, Σlen ≤ 2·%d−2", d2g)
 	measured := "no 2 disjoint paths"
 	okD := false

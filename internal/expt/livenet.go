@@ -37,7 +37,7 @@ func LiveNetwork(cfg Config) (*stats.Table, error) {
 
 	var m *dynamic.Maintainer
 	pinned, valid := true, true
-	rep := distsim.LiveRun(live, func(tick int, changes []dynamic.Change, e *distsim.Engine) {
+	rep, err := distsim.LiveRun(live, func(tick int, changes []dynamic.Change, e *distsim.Engine) {
 		if m == nil {
 			m = dynamic.New(e.Graph(), live.Radius, dynamic.TreeBuilder(build))
 			// The maintainer starts from the post-first-tick topology;
@@ -55,6 +55,9 @@ func LiveNetwork(cfg Config) (*stats.Table, error) {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	t := stats.NewTable("Live-network distributed RemSpan: mobility-driven incremental re-advertisement",
 		"metric", "value", "verdict")

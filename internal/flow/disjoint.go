@@ -35,33 +35,47 @@ func buildVertexSplit(g *graph.Graph, s, t int) *mcmf {
 // VertexDisjointPaths returns k internally vertex-disjoint s→t paths
 // with minimum total length, or ok=false if fewer than k exist.
 // Successive shortest paths guarantee the minimum sum for every prefix
-// k' <= k as well.
-func VertexDisjointPaths(g *graph.Graph, s, t, k int) (Result, bool) {
+// k' <= k as well. A non-nil error means the computed flow could not be
+// decomposed into paths — an internal-invariant failure a serving
+// process should surface, not die on.
+func VertexDisjointPaths(g *graph.Graph, s, t, k int) (Result, bool, error) {
 	if s == t {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	f := buildVertexSplit(g, s, t)
 	total := 0
 	for i := 0; i < k; i++ {
 		c, ok := f.augment(int32(2*s+1), int32(2*t))
 		if !ok {
-			return Result{}, false
+			return Result{}, false, nil
 		}
 		total += int(c)
 	}
-	paths := extractVertexPaths(f, g.N(), s, t, k)
-	return Result{Total: total, Paths: paths}, true
+	paths, err := extractVertexPaths(f, g.N(), s, t, k)
+	if err != nil {
+		return Result{}, false, err
+	}
+	return Result{Total: total, Paths: paths}, true, nil
 }
 
 // KDistance returns the paper's k-connecting distance d^k(s, t): the
 // minimum length sum of k internally vertex-disjoint paths, or -1 when
-// no k disjoint paths exist (d^k = ∞).
+// no k disjoint paths exist (d^k = ∞). Only the flow value is needed,
+// so no path decomposition runs.
 func KDistance(g *graph.Graph, s, t, k int) int {
-	res, ok := VertexDisjointPaths(g, s, t, k)
-	if !ok {
+	if s == t {
 		return -1
 	}
-	return res.Total
+	f := buildVertexSplit(g, s, t)
+	total := 0
+	for i := 0; i < k; i++ {
+		c, ok := f.augment(int32(2*s+1), int32(2*t))
+		if !ok {
+			return -1
+		}
+		total += int(c)
+	}
+	return total
 }
 
 // KDistanceProfile returns d^1..d^k in one flow run (successive
@@ -107,7 +121,7 @@ func VertexConnectivity(g *graph.Graph, s, t int) int {
 
 // extractVertexPaths decomposes the unit flow on the vertex-split
 // network into k paths over original vertex ids.
-func extractVertexPaths(f *mcmf, n, s, t, k int) [][]int32 {
+func extractVertexPaths(f *mcmf, n, s, t, k int) ([][]int32, error) {
 	// usedTo[v] = list of successors of v carried by flow (original ids).
 	usedTo := make(map[int32][]int32, n)
 	for u := 0; u < n; u++ {
@@ -129,7 +143,7 @@ func extractVertexPaths(f *mcmf, n, s, t, k int) [][]int32 {
 		for cur != int32(t) {
 			succs := usedTo[cur]
 			if len(succs) == 0 {
-				panic(fmt.Sprintf("flow: path decomposition stuck at %d", cur))
+				return nil, fmt.Errorf("flow: path decomposition stuck at %d", cur)
 			}
 			next := succs[len(succs)-1]
 			usedTo[cur] = succs[:len(succs)-1]
@@ -138,15 +152,16 @@ func extractVertexPaths(f *mcmf, n, s, t, k int) [][]int32 {
 		}
 		paths = append(paths, path)
 	}
-	return paths
+	return paths, nil
 }
 
 // EdgeDisjointPaths returns k edge-disjoint s→t paths with minimum
 // total length, or ok=false if fewer than k exist. This supports the
-// paper's concluding extension to edge-connectivity.
-func EdgeDisjointPaths(g *graph.Graph, s, t, k int) (Result, bool) {
+// paper's concluding extension to edge-connectivity. A non-nil error
+// means the flow could not be decomposed into paths.
+func EdgeDisjointPaths(g *graph.Graph, s, t, k int) (Result, bool, error) {
 	if s == t {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	n := g.N()
 	f := newMCMF(n)
@@ -158,7 +173,7 @@ func EdgeDisjointPaths(g *graph.Graph, s, t, k int) (Result, bool) {
 	for i := 0; i < k; i++ {
 		c, ok := f.augment(int32(s), int32(t))
 		if !ok {
-			return Result{}, false
+			return Result{}, false, nil
 		}
 		total += int(c)
 	}
@@ -184,28 +199,42 @@ func EdgeDisjointPaths(g *graph.Graph, s, t, k int) (Result, bool) {
 		for cur != int32(t) {
 			succs := usedTo[cur]
 			if len(succs) == 0 {
-				panic(fmt.Sprintf("flow: edge path decomposition stuck at %d", cur))
+				return Result{}, false, fmt.Errorf("flow: edge path decomposition stuck at %d", cur)
 			}
 			next := succs[len(succs)-1]
 			usedTo[cur] = succs[:len(succs)-1]
 			path = append(path, next)
 			cur = next
 			if steps++; steps > g.M()+1 {
-				panic("flow: edge path decomposition cycled")
+				return Result{}, false, fmt.Errorf("flow: edge path decomposition cycled at %d", cur)
 			}
 		}
 		paths = append(paths, path)
 	}
-	return Result{Total: total, Paths: paths}, true
+	return Result{Total: total, Paths: paths}, true, nil
 }
 
-// EdgeKDistance is the edge-disjoint analogue of KDistance.
+// EdgeKDistance is the edge-disjoint analogue of KDistance. Only the
+// flow value is needed, so no path decomposition runs.
 func EdgeKDistance(g *graph.Graph, s, t, k int) int {
-	res, ok := EdgeDisjointPaths(g, s, t, k)
-	if !ok {
+	if s == t {
 		return -1
 	}
-	return res.Total
+	n := g.N()
+	f := newMCMF(n)
+	g.EachEdge(func(u, v int) {
+		f.addArc(int32(u), int32(v), 1, 1)
+		f.addArc(int32(v), int32(u), 1, 1)
+	})
+	total := 0
+	for i := 0; i < k; i++ {
+		c, ok := f.augment(int32(s), int32(t))
+		if !ok {
+			return -1
+		}
+		total += int(c)
+	}
+	return total
 }
 
 // EdgeConnectivity returns the maximum number of edge-disjoint s→t

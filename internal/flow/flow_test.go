@@ -90,8 +90,8 @@ func TestVertexDisjointSimpleCycle(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		g.AddEdge(i, (i+1)%6)
 	}
-	res, ok := VertexDisjointPaths(g, 0, 3, 2)
-	if !ok {
+	res, ok, err := VertexDisjointPaths(g, 0, 3, 2)
+	if err != nil || !ok {
 		t.Fatal("expected 2 disjoint paths in C6")
 	}
 	if res.Total != 6 {
@@ -100,7 +100,7 @@ func TestVertexDisjointSimpleCycle(t *testing.T) {
 	if err := ArePathsInternallyDisjoint(g, 0, 3, res.Paths); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := VertexDisjointPaths(g, 0, 3, 3); ok {
+	if _, ok, _ := VertexDisjointPaths(g, 0, 3, 3); ok {
 		t.Fatal("C6 should not have 3 disjoint paths")
 	}
 }
@@ -165,7 +165,7 @@ func TestKDistanceMatchesBruteForce(t *testing.T) {
 				t.Fatalf("trial %d n=%d k=%d: flow=%d brute=%d", trial, n, k, got, want)
 			}
 			if got >= 0 {
-				res, _ := VertexDisjointPaths(g, s, tt, k)
+				res, _, _ := VertexDisjointPaths(g, s, tt, k)
 				if err := ArePathsInternallyDisjoint(g, s, tt, res.Paths); err != nil {
 					t.Fatalf("trial %d: %v", trial, err)
 				}
@@ -228,8 +228,8 @@ func TestEdgeDisjointPaths(t *testing.T) {
 	if c := EdgeConnectivity(g, 0, 4); c != 2 {
 		t.Fatalf("edge connectivity %d, want 2", c)
 	}
-	res, ok := EdgeDisjointPaths(g, 0, 4, 2)
-	if !ok {
+	res, ok, err := EdgeDisjointPaths(g, 0, 4, 2)
+	if err != nil || !ok {
 		t.Fatal("expected 2 edge-disjoint paths")
 	}
 	// total = (0-1-2-3-4) + (0-2-4) = 4 + 2 = 6... min total is

@@ -218,8 +218,9 @@ func AdvertisedCost(g graph.View, h *graph.EdgeSet) (spannerLinks, fullLinks int
 
 // DisjointRoutes returns k minimum-total-length internally disjoint
 // routes from s to t in s's view H_s — the multipath routing enabled by
-// k-connecting remote-spanners (§3).
-func DisjointRoutes(g, h *graph.Graph, s, t, k int) (flow.Result, bool) {
+// k-connecting remote-spanners (§3). A non-nil error reports a failed
+// path decomposition (malformed flow state), not missing connectivity.
+func DisjointRoutes(g, h *graph.Graph, s, t, k int) (flow.Result, bool, error) {
 	hs := spanner.View(g, h, s)
 	return flow.VertexDisjointPaths(hs, s, t, k)
 }

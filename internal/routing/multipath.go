@@ -42,8 +42,8 @@ func MeasureMultipath(g, h graph.View, pairs [][2]int) MultipathReport {
 		}
 		rep.Pairs++
 		hs := spanner.View(gg, hh, s)
-		res, ok := flow.VertexDisjointPaths(hs, s, t, 2)
-		if !ok {
+		res, ok, err := flow.VertexDisjointPaths(hs, s, t, 2)
+		if err != nil || !ok {
 			continue
 		}
 		rep.WithTwoRoutes++

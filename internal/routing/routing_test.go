@@ -181,11 +181,11 @@ func TestDisjointRoutesOnTwoConnecting(t *testing.T) {
 			if g.HasEdge(s, tt) {
 				continue
 			}
-			if _, ok := DisjointRoutes(g, g, s, tt, 2); !ok {
+			if _, ok, _ := DisjointRoutes(g, g, s, tt, 2); !ok {
 				continue // not 2-connected in G
 			}
-			res, ok := DisjointRoutes(g, h, s, tt, 2)
-			if !ok {
+			res, ok, err := DisjointRoutes(g, h, s, tt, 2)
+			if err != nil || !ok {
 				t.Fatalf("pair (%d,%d): 2-connected in G but not in H_s", s, tt)
 			}
 			if len(res.Paths) != 2 {

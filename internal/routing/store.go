@@ -44,7 +44,7 @@ type Store struct {
 	m  *dynamic.Maintainer
 	n  int
 	bb *BatchBuilder
-	h  *hmirror
+	h  *SpannerMirror
 
 	cur atomic.Pointer[Epoch]
 
@@ -99,6 +99,17 @@ type retiredEpoch struct {
 // idleSeq marks a Reader outside any epoch.
 const idleSeq = math.MaxUint64
 
+// maxRetired bounds the writer's explicit retirement queue. A stalled
+// reader pins its epoch and everything retired after it, so without a
+// cap one leaked reader would grow st.retired without bound. Past the
+// cap the writer stops holding the oldest entries for pooling and
+// drops them to the garbage collector instead: whatever the stalled
+// reader still reaches through its pinned epoch stays alive via that
+// reference, everything else is collected — reclamation degrades to
+// fresh allocations, never to unbounded writer-side retention
+// (pinned by TestStoreReclamationUnderReaderStall).
+const maxRetired = 32
+
 // NewStore builds the cold-start forwarding plane over m: the full
 // table set on the word-parallel builder, published as epoch 1. The
 // store owns the maintainer's churn feed from here on — apply changes
@@ -110,18 +121,18 @@ func NewStore(m *dynamic.Maintainer) *Store {
 		m:         m,
 		n:         n,
 		bb:        NewBatchBuilder(n),
-		h:         newHMirror(n),
+		h:         NewSpannerMirror(n),
 		stale:     make([]atomic.Uint32, (n+31)/32),
 		dirtyBuf:  make([]int32, 0, 256),
 		groupNext: make([][]int32, 0, 64),
 		groupDist: make([][]int32, 0, 64),
 	}
 	for u := 0; u < n; u++ {
-		st.h.updateTree(u, m.TreeOf(u))
+		st.h.UpdateTree(u, m.TreeOf(u))
 	}
-	st.h.freeze()
+	st.h.Freeze()
 	tables := NewTables(n)
-	BuildTablesBatchedInto(m.View(), st.h.view(), tables)
+	BuildTablesBatchedInto(m.View(), st.h.View(), tables)
 	ep := &Epoch{tables: tables}
 	ep.seq.Store(1)
 	st.cur.Store(ep)
@@ -131,6 +142,18 @@ func NewStore(m *dynamic.Maintainer) *Store {
 // Maintainer returns the wrapped maintainer (reads only; churn goes
 // through Store.ApplyBatch).
 func (st *Store) Maintainer() *dynamic.Maintainer { return st.m }
+
+// Mirror returns the store's incrementally maintained spanner mirror
+// (reads only). The replica writer reads dirty owners' trees off it
+// when assembling shipments.
+func (st *Store) Mirror() *SpannerMirror { return st.h }
+
+// DirtyOwners returns the owners whose rows the last ApplyBatch or
+// RebuildAll rebuilt (sorted, unique) — exactly the rows a downstream
+// replicator must re-ship to keep a remote copy in lockstep. The slice
+// is writer-owned scratch: read it before the next batch, do not
+// retain it. Empty when the last batch changed nothing.
+func (st *Store) DirtyOwners() []int32 { return st.dirtyBuf }
 
 // Epoch returns the current published epoch. The contents are
 // read-only and remain stable only under the Epoch pinning contract —
@@ -157,7 +180,7 @@ func (st *Store) ApplyBatch(changes []dynamic.Change) int {
 		return applied
 	}
 	for _, r := range dirty {
-		st.h.updateTree(int(r), st.m.TreeOf(int(r)))
+		st.h.UpdateTree(int(r), st.m.TreeOf(int(r)))
 	}
 	if len(st.dirtyBuf) > len(dirty) { // stale marks joined: sort + dedupe
 		slices.Sort(st.dirtyBuf)
@@ -223,7 +246,7 @@ func (st *Store) publish(owners []int32) {
 	ep := st.takeEpoch()
 	copy(ep.tables, cur.tables)
 	ret := retiredEpoch{ep: cur, rows: st.takeRows()}
-	g, h := st.m.View(), st.h.view()
+	g, h := st.m.View(), st.h.View()
 	for start := 0; start < len(owners); start += 64 {
 		end := start + 64
 		if end > len(owners) {
@@ -245,6 +268,13 @@ func (st *Store) publish(owners []int32) {
 	ret.seq = ep.Seq()
 	st.cur.Store(ep)
 	st.retired = append(st.retired, ret)
+	if drop := len(st.retired) - maxRetired; drop > 0 {
+		n := copy(st.retired, st.retired[drop:])
+		for i := n; i < len(st.retired); i++ {
+			st.retired[i] = retiredEpoch{} // release to GC, not to the pools
+		}
+		st.retired = st.retired[:n]
+	}
 }
 
 // reclaim recycles retired buffers whose epochs every active reader
@@ -312,10 +342,11 @@ func (st *Store) takeRows() [][]int32 {
 // concurrent use with itself); creating one is cheap. Route results
 // share the reader's path buffer — valid until its next call.
 type Reader struct {
-	st   *Store
-	seq  atomic.Uint64
-	path []int32
-	_    [40]byte // keep hot writer scans off this reader's line
+	st     *Store
+	seq    atomic.Uint64
+	path   []int32
+	closed bool     // guarded by st.readersMu
+	_      [40]byte // keep hot writer scans off this reader's line
 }
 
 // NewReader registers and returns a reader handle. Call Close when a
@@ -332,16 +363,21 @@ func (st *Store) NewReader() *Reader {
 
 // Close unregisters the reader so its slot no longer participates in
 // reclamation scans. It must be called with no operation in flight,
-// and the reader must not be used afterwards.
+// and the reader must not be used afterwards. Close is idempotent:
+// double-closing (a deferred Close racing an explicit one in teardown
+// paths) is a no-op, never a panic or a corrupted registry.
 func (r *Reader) Close() {
 	st := r.st
 	st.readersMu.Lock()
-	for i, x := range st.readers {
-		if x == r {
-			st.readers[i] = st.readers[len(st.readers)-1]
-			st.readers[len(st.readers)-1] = nil
-			st.readers = st.readers[:len(st.readers)-1]
-			break
+	if !r.closed {
+		r.closed = true
+		for i, x := range st.readers {
+			if x == r {
+				st.readers[i] = st.readers[len(st.readers)-1]
+				st.readers[len(st.readers)-1] = nil
+				st.readers = st.readers[:len(st.readers)-1]
+				break
+			}
 		}
 	}
 	st.readersMu.Unlock()
@@ -425,81 +461,4 @@ func (r *Reader) routeOn(phys graph.View, s, t int) (Route, uint64) {
 		r.path = rt.Path
 	}
 	return rt, ep.Seq()
-}
-
-// hmirror maintains the union-of-trees spanner H incrementally: a
-// per-edge multiplicity count over the maintainer's stored trees, a
-// mutable Graph mirror, and a CSRDelta the table builders read (the
-// same patched-snapshot discipline as the maintainer's own view). Tree
-// updates increment the new edges before decrementing the old, so
-// edges shared by both versions never toggle through the graph.
-type hmirror struct {
-	g     *graph.Graph
-	delta *graph.CSRDelta
-	cnt   map[uint64]int32
-	trees [][][2]int32
-}
-
-func newHMirror(n int) *hmirror {
-	return &hmirror{
-		g:     graph.New(n),
-		cnt:   make(map[uint64]int32, 4*n),
-		trees: make([][][2]int32, n),
-	}
-}
-
-// freeze snapshots the assembled graph into the patchable delta (cold
-// start only; updates keep both in lockstep afterwards).
-func (hm *hmirror) freeze() { hm.delta = graph.NewCSRDelta(graph.NewCSR(hm.g)) }
-
-// view returns the builder-facing read view of H.
-func (hm *hmirror) view() graph.View {
-	if hm.delta != nil {
-		return hm.delta
-	}
-	return hm.g
-}
-
-func edgeKey(u, v int32) uint64 {
-	if u > v {
-		u, v = v, u
-	}
-	return uint64(uint32(u))<<32 | uint64(uint32(v))
-}
-
-func (hm *hmirror) inc(u, v int32) {
-	k := edgeKey(u, v)
-	c := hm.cnt[k]
-	hm.cnt[k] = c + 1
-	if c == 0 {
-		hm.g.AddEdge(int(u), int(v))
-		if hm.delta != nil {
-			hm.delta.AddEdge(int(u), int(v))
-		}
-	}
-}
-
-func (hm *hmirror) dec(u, v int32) {
-	k := edgeKey(u, v)
-	if c := hm.cnt[k]; c > 1 {
-		hm.cnt[k] = c - 1
-		return
-	}
-	delete(hm.cnt, k)
-	hm.g.RemoveEdge(int(u), int(v))
-	if hm.delta != nil {
-		hm.delta.RemoveEdge(int(u), int(v))
-	}
-}
-
-// updateTree replaces root r's contribution to H with the given
-// (child, parent) edges, keeping a compact copy for the next diff.
-func (hm *hmirror) updateTree(r int, edges [][2]int32) {
-	for _, e := range edges {
-		hm.inc(e[0], e[1])
-	}
-	for _, e := range hm.trees[r] {
-		hm.dec(e[0], e[1])
-	}
-	hm.trees[r] = append(hm.trees[r][:0], edges...)
 }

@@ -294,7 +294,11 @@ func TestStoreApplyBatchZeroAlloc(t *testing.T) {
 
 // TestStoreReclamationUnderReaderStall pins safety over throughput: a
 // reader parked inside an old epoch must keep its buffers alive across
-// many publishes, and they are recycled only after it leaves.
+// many publishes, and they are recycled only after it leaves. It also
+// pins the boundedness half of the contract: a leaked stalled reader
+// *bounds* writer-side retention at maxRetired entries — it never
+// grows the retirement queue without limit — because past the cap the
+// writer drops the oldest entries to the GC instead of holding them.
 func TestStoreReclamationUnderReaderStall(t *testing.T) {
 	_, st := storeFixture(50, 70, 7)
 	m := st.Maintainer()
@@ -304,20 +308,33 @@ func TestStoreReclamationUnderReaderStall(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(8))
 	pool := churnPool(m.Graph().N(), 30, rng)
-	for round := 0; round < 20; round++ {
-		p := pool[rng.Intn(len(pool))]
-		kind := dynamic.AddEdge
-		if m.Graph().HasEdge(p[0], p[1]) {
-			kind = dynamic.RemoveEdge
+	churn := func(rounds int) {
+		for round := 0; round < rounds; round++ {
+			p := pool[rng.Intn(len(pool))]
+			kind := dynamic.AddEdge
+			if m.Graph().HasEdge(p[0], p[1]) {
+				kind = dynamic.RemoveEdge
+			}
+			st.ApplyBatch([]dynamic.Change{{Kind: kind, U: p[0], V: p[1]}})
 		}
-		st.ApplyBatch([]dynamic.Change{{Kind: kind, U: p[0], V: p[1]}})
 	}
+	churn(20)
 	if len(st.retired) == 0 {
 		t.Fatal("expected retirement backlog while a reader stalls")
 	}
 	// The parked reader's view must still be the untouched epoch-1 data.
 	if ep.Seq() != 1 || &ep.tables[0].Next[0] != next0 {
 		t.Fatal("stalled reader's epoch was recycled under it")
+	}
+	// Keep churning well past the retention cap: the backlog must
+	// saturate at maxRetired, not track the publish count.
+	churn(3 * maxRetired)
+	if len(st.retired) > maxRetired {
+		t.Fatalf("stalled reader grew the retirement queue to %d entries (cap %d)",
+			len(st.retired), maxRetired)
+	}
+	if ep.Seq() != 1 || &ep.tables[0].Next[0] != next0 {
+		t.Fatal("stalled reader's epoch was recycled after the cap kicked in")
 	}
 	r.exit()
 	st.ApplyBatch([]dynamic.Change{{Kind: dynamic.AddEdge, U: pool[0][0], V: pool[0][1]}})
@@ -388,4 +405,42 @@ func TestStoreReaderClose(t *testing.T) {
 	if len(st.retired) > 2 {
 		t.Fatalf("backlog survived Close: %d entries", len(st.retired))
 	}
+}
+
+// TestStoreReaderDoubleClose pins that Close is idempotent: closing an
+// already-closed reader is a no-op, and it never unregisters a
+// *different* reader that happens to occupy the registry slot — the
+// failure mode of a naive scan-and-remove under double-close.
+func TestStoreReaderDoubleClose(t *testing.T) {
+	_, st := storeFixture(30, 45, 13)
+	a := st.NewReader()
+	b := st.NewReader()
+	a.Close()
+	a.Close() // must not panic, must not touch b's registration
+	a.Close()
+	st.readersMu.Lock()
+	live := len(st.readers)
+	st.readersMu.Unlock()
+	if live != 1 {
+		t.Fatalf("after double-closing a, %d readers registered, want 1 (b)", live)
+	}
+	// b must still participate in reclamation: park it, churn, and the
+	// backlog must be held on its behalf.
+	b.enter()
+	m := st.Maintainer()
+	pool := churnPool(m.Graph().N(), 8, rand.New(rand.NewSource(14)))
+	for i := 0; i < 6; i++ {
+		p := pool[i%len(pool)]
+		kind := dynamic.AddEdge
+		if m.Graph().HasEdge(p[0], p[1]) {
+			kind = dynamic.RemoveEdge
+		}
+		st.ApplyBatch([]dynamic.Change{{Kind: kind, U: p[0], V: p[1]}})
+	}
+	if len(st.retired) == 0 {
+		t.Fatal("double-closed reader a took reader b's registration with it")
+	}
+	b.exit()
+	b.Close()
+	b.Close()
 }

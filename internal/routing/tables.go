@@ -171,6 +171,11 @@ const (
 	// (mutually inconsistent tables can loop; impossible within one
 	// coherently built table set over a remote-spanner).
 	RouteTrapped
+	// RouteDegraded: the answer was computed by greedy fallback on a
+	// replica's local spanner view because no sufficiently fresh
+	// forwarding tables were available (replica degraded mode). The
+	// path is real but carries no table-tier freshness guarantee.
+	RouteDegraded
 )
 
 // String returns the reason mnemonic.
@@ -184,6 +189,8 @@ func (r RouteReason) String() string {
 		return "stale-link"
 	case RouteTrapped:
 		return "trapped"
+	case RouteDegraded:
+		return "degraded"
 	default:
 		return "unknown"
 	}
@@ -210,6 +217,15 @@ func hasEdgeView(v graph.View, a, b int) bool {
 // (RouteStaleLink).
 func TableRoute(tables []Table, g graph.View, s, t int) Route {
 	return tableRouteInto(tables, g, s, t, make([]int32, 0, 8))
+}
+
+// TableRouteInto is TableRoute appending into a caller-owned path
+// buffer — the allocation-free form concurrent table consumers (the
+// replica tier's lock-free query path) use. On delivery the returned
+// Route.Path is the (possibly grown) buffer; keep it for the next
+// call. A nil g skips physical link validation.
+func TableRouteInto(tables []Table, g graph.View, s, t int, path []int32) Route {
+	return tableRouteInto(tables, g, s, t, path)
 }
 
 // tableRouteInto is the one forwarding walk every table-driven data

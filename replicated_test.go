@@ -1,0 +1,75 @@
+package remspan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReplicatedRouterBasic drives the public replicated tier through
+// churn on a perfect transport: replicas stay in lockstep with the
+// writer, every query is typed, and delivered paths are real walks in
+// the current graph ending at the target.
+func TestReplicatedRouterBasic(t *testing.T) {
+	g := RandomUDG(150, 4, 7)
+	rr, err := NewReplicatedRouter(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplicatedRouter(g, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	cur := g.Clone()
+	for round := 0; round < 8; round++ {
+		var added, removed [][2]int
+		for k := 0; k < 5; k++ {
+			u, v := rng.Intn(cur.N()), rng.Intn(cur.N())
+			if u == v {
+				continue
+			}
+			if cur.HasEdge(u, v) {
+				removed = append(removed, [2]int{u, v})
+			} else {
+				added = append(added, [2]int{u, v})
+			}
+		}
+		rr.Update(added, removed)
+		for _, e := range removed {
+			cur.raw().RemoveEdge(e[0], e[1])
+		}
+		for _, e := range added {
+			cur.AddEdge(e[0], e[1])
+		}
+		if rr.MaxLag() != 0 {
+			t.Fatalf("round %d: replicas lag %d on a perfect transport", round, rr.MaxLag())
+		}
+		for q := 0; q < 30; q++ {
+			s, d := rng.Intn(cur.N()), rng.Intn(cur.N())
+			path, reason, lag, ok := rr.Route(s, d)
+			if lag != 0 {
+				t.Fatalf("round %d: query served at lag %d on a perfect transport", round, lag)
+			}
+			if !ok {
+				if reason != "unreachable" && reason != "stale-link" && reason != "trapped" {
+					t.Fatalf("round %d: untyped failure %q", round, reason)
+				}
+				continue
+			}
+			if reason != "delivered" {
+				t.Fatalf("round %d: delivered route with reason %q", round, reason)
+			}
+			if len(path) == 0 || path[0] != s || path[len(path)-1] != d {
+				t.Fatalf("round %d: bad path %v for %d→%d", round, path, s, d)
+			}
+			for i := 1; i < len(path); i++ {
+				if !cur.HasEdge(path[i-1], path[i]) {
+					t.Fatalf("round %d: path hop %d–%d not an edge", round, path[i-1], path[i])
+				}
+			}
+		}
+	}
+	if rr.Epoch() < 2 {
+		t.Fatalf("writer never published past bootstrap: epoch %d", rr.Epoch())
+	}
+}

@@ -92,8 +92,8 @@ func Route(g, h *Graph, s, t int) (path []int, ok bool) {
 // MultipathRoutes returns k minimum-total-length internally disjoint
 // s→t routes available in s's augmented view of h.
 func MultipathRoutes(g, h *Graph, s, t, k int) (paths [][]int, totalLen int, ok bool) {
-	res, ok := routing.DisjointRoutes(g.raw(), h.raw(), s, t, k)
-	if !ok {
+	res, ok, err := routing.DisjointRoutes(g.raw(), h.raw(), s, t, k)
+	if err != nil || !ok {
 		return nil, 0, false
 	}
 	paths = make([][]int, len(res.Paths))
