@@ -1,0 +1,270 @@
+// Command remspanlint is the repo's invariant checker: a multichecker
+// over the internal/analysis suite (hotalloc, scratchescape, rcupub,
+// detrand).
+//
+// It runs in two modes:
+//
+//   - vettool mode, driven by the go command:
+//
+//     go vet -vettool=$(which remspanlint) ./...
+//
+//     The go command probes the tool with -V=full for a version
+//     fingerprint, then invokes it once per package with a vet.cfg
+//     JSON file describing the unit: source files, the import map and
+//     export-data locations for every dependency. This mirrors the
+//     golang.org/x/tools unitchecker protocol, reimplemented on the
+//     standard library because the module cache has no x/tools.
+//
+//   - standalone mode:
+//
+//     remspanlint ./...
+//
+//     Loads packages itself via `go list -export` and checks them in
+//     one process. Diagnostics print to stderr as file:line:col; the
+//     exit status is 2 when anything is reported.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"remspan/internal/analysis"
+	"remspan/internal/analysis/detrand"
+	"remspan/internal/analysis/hotalloc"
+	"remspan/internal/analysis/load"
+	"remspan/internal/analysis/rcupub"
+	"remspan/internal/analysis/scratchescape"
+)
+
+var analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	scratchescape.Analyzer,
+	rcupub.Analyzer,
+	detrand.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("remspanlint: ")
+
+	args := os.Args[1:]
+	for _, a := range args {
+		// The go command fingerprints vet tools by running `tool
+		// -V=full` and requires `name version fingerprint` on stdout.
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Println("remspanlint version remspan-suite-1")
+			return
+		}
+		// The go command also probes `tool -flags` for the JSON list
+		// of vet flags the tool accepts; this suite has none.
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+		if a == "help" || a == "-h" || a == "--help" {
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitCheck(args[0])
+		return
+	}
+	standalone(args)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: remspanlint [packages]   (or via go vet -vettool=remspanlint)\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+// diag pairs a finding with the analyzer that produced it so the
+// drivers can sort and label uniformly.
+type diag struct {
+	analyzer string
+	d        analysis.Diagnostic
+}
+
+// runAll applies every analyzer to one type-checked package and
+// returns the findings in position order.
+func runAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diag {
+	var out []diag
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, diag{analyzer: name, d: d})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].d.Pos < out[j].d.Pos })
+	return out
+}
+
+func printDiags(fset *token.FileSet, diags []diag) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.d.Pos), d.d.Message, d.analyzer)
+	}
+}
+
+// ---- standalone mode ----
+
+func standalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags := runAll(p.Fset, p.Files, p.Types, p.Info)
+		if len(diags) > 0 {
+			exit = 2
+			printDiags(p.Fset, diags)
+		}
+	}
+	os.Exit(exit)
+}
+
+// ---- vettool mode ----
+
+// vetConfig mirrors the JSON the go command writes for each vet unit
+// (cmd/go/internal/work: buildVetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+
+	ImportsUnsafe bool
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+
+	VetxOnly    bool
+	VetxOutput  string
+	PackageVetx map[string]string
+}
+
+func unitCheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command caches the (empty: this suite keeps no facts)
+	// vetx artifact and requires it to exist even on failure paths.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Dependency units are facts-only requests; with no facts to
+	// compute there is nothing to do.
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: exportImporter(&cfg, fset),
+		Sizes:    types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:    func(error) {}, // collect-all; Check returns the first
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := runAll(fset, files, pkg, info)
+	if len(diags) > 0 {
+		printDiags(fset, diags)
+		os.Exit(2)
+	}
+}
+
+// exportImporter resolves imports through the unit's ImportMap and
+// reads compiler export data listed in PackageFile — the same lookup
+// contract importer.ForCompiler expects.
+func exportImporter(cfg *vetConfig, fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, lookup)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok && mapped != "" {
+			path = mapped
+		}
+		return base.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

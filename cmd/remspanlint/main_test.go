@@ -1,0 +1,97 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the remspanlint binary into a scratch dir so the
+// tests can drive it exactly the way CI does: through `go vet
+// -vettool`.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "remspanlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building remspanlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVersionHandshake pins the `-V=full` contract the go command uses
+// to fingerprint vet tools: at least three fields, the second exactly
+// "version", the third not "devel".
+func TestVersionHandshake(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(string(out))
+	if len(f) < 3 || f[1] != "version" || f[2] == "devel" {
+		t.Fatalf("-V=full output %q does not satisfy the go command's tool-ID contract", out)
+	}
+}
+
+// TestVettoolGateFiresOnBadCorpus proves the CI gate end to end: `go
+// vet -vettool=remspanlint` over the seeded known-bad corpus must fail
+// and must surface one diagnostic from each of the four analyzers.
+func TestVettoolGateFiresOnBadCorpus(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("testdata", "badcorpus")
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited clean on the bad corpus:\n%s", out)
+	}
+	for _, want := range []string{
+		"(hotalloc)",
+		"(scratchescape)",
+		"(rcupub)",
+		"(detrand)",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("bad corpus vet output is missing a %s diagnostic:\n%s", want, out)
+		}
+	}
+}
+
+// TestStandaloneModeFiresOnBadCorpus checks the loader-based mode
+// reports the same corpus without the go command in the loop.
+func TestStandaloneModeFiresOnBadCorpus(t *testing.T) {
+	bin := buildLint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = filepath.Join("testdata", "badcorpus")
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone remspanlint exited clean on the bad corpus:\n%s", out)
+	}
+	for _, want := range []string{"(hotalloc)", "(scratchescape)", "(rcupub)", "(detrand)"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("bad corpus standalone output is missing a %s diagnostic:\n%s", want, out)
+		}
+	}
+}
+
+// TestRepoIsLintClean runs the real gate over the whole repository:
+// the annotated hot paths, scratch lifetimes, RCU publication sites,
+// and deterministic packages must all be clean. This is the same
+// command CI runs.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo vet is not a -short test")
+	}
+	bin := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("repo is not remspanlint-clean: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,45 @@
+// Package badcorpus deliberately violates one invariant per analyzer
+// so CI can prove the remspanlint gate actually fires end to end
+// through `go vet -vettool`. Every function below must produce a
+// diagnostic; the self-test fails if any analyzer stays silent.
+//
+//remspan:deterministic
+package badcorpus
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RowScratch mimics the repo's epoch-stamped scratch buffers.
+type RowScratch struct{ rows []int32 }
+
+// Reset mimics the epoch bump.
+func (s *RowScratch) Reset() {}
+
+// hotAlloc violates hotalloc: an annotated hot path allocates.
+//
+//remspan:hotpath
+func hotAlloc(n int) []int32 {
+	buf := make([]int32, n)
+	return buf
+}
+
+// leak violates scratchescape: the loan outlives the call.
+func leak(s *RowScratch) []int32 {
+	return s.rows
+}
+
+type box struct{ cur atomic.Pointer[RowScratch] }
+
+// pub violates rcupub: a write lands after publication.
+func pub(b *box) {
+	s := &RowScratch{}
+	b.cur.Store(s)
+	s.rows = nil
+}
+
+// stamp violates detrand: wall-clock reads in a deterministic package.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,3 @@
+module badcorpus
+
+go 1.21

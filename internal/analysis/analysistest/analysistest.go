@@ -1,0 +1,169 @@
+// Package analysistest runs an analyzer over a golden corpus and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest (implemented
+// here on the stdlib-only kernel).
+//
+// A corpus is a self-contained Go module committed under the analyzer's
+// testdata directory (testdata trees are invisible to the enclosing
+// module's ./... patterns, so corpora can violate the invariants they
+// exercise without tripping the repo-wide lint gate). Every diagnostic
+// must be matched by a want clause on its line and every want clause
+// must match a diagnostic; either leftover fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"remspan/internal/analysis"
+	"remspan/internal/analysis/load"
+)
+
+// Run loads the module rooted at dir (patterns ./...) and checks the
+// analyzer's diagnostics against the corpus's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("corpus %s matched no packages", dir)
+	}
+	for _, pkg := range pkgs {
+		checkPackage(t, a, pkg)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	diags := make(map[lineKey][]string)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			k := lineKey{p.Filename, p.Line}
+			diags[k] = append(diags[k], d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error on %s: %v", a.Name, pkg.ImportPath, err)
+	}
+
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, ok, err := parseWant(c.Text)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pkg.Fset.Position(c.Slash), err)
+				}
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Slash)
+				k := lineKey{p.Filename, p.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	keys := make(map[lineKey]bool)
+	for k := range diags {
+		keys[k] = true
+	}
+	for k := range wants {
+		keys[k] = true
+	}
+	sorted := make([]lineKey, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].file != sorted[j].file {
+			return sorted[i].file < sorted[j].file
+		}
+		return sorted[i].line < sorted[j].line
+	})
+
+	for _, k := range sorted {
+		got := append([]string(nil), diags[k]...)
+		for _, re := range wants[k] {
+			idx := -1
+			for i, msg := range got {
+				if re.MatchString(msg) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", k.file, k.line, re, got)
+				continue
+			}
+			got = append(got[:idx], got[idx+1:]...)
+		}
+		for _, msg := range got {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "re" "re"`
+// comment, reporting ok=false for ordinary comments.
+func parseWant(text string) ([]*regexp.Regexp, bool, error) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		rest, ok = strings.CutPrefix(text, "//want ")
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	var res []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, false, fmt.Errorf("want clause must be a quoted regexp: %s", rest)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, false, fmt.Errorf("unterminated want regexp: %s", rest)
+		}
+		lit, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, false, fmt.Errorf("bad want regexp %s: %v", rest[:end+1], err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, false, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		res = append(res, re)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	if len(res) == 0 {
+		return nil, false, fmt.Errorf("want comment with no regexps")
+	}
+	return res, true, nil
+}

@@ -1,0 +1,187 @@
+// Package detrand guards bit-replayability: packages whose tests pin
+// double-run equality (the replica chaos harness, distsim protocol
+// runs, the bench JSON pipelines) opt in with a //remspan:deterministic
+// comment anywhere in the package, and the analyzer then rejects the
+// three ways nondeterminism has historically crept into such code:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until (seeded
+//     simulations carry their own tick counters; injected clocks are
+//     fields, not calls);
+//   - the process-global math/rand generators (rand.Intn, rand.Perm,
+//     ...): all randomness must flow from an explicit seeded
+//     *rand.Rand, so methods on a rand.Rand value and the New*
+//     constructors that build one are allowed;
+//   - map iteration feeding ordered output: a range over a map whose
+//     body appends to a slice declared outside the loop, with no
+//     sort.*/slices.Sort* call later in the same function. Iteration
+//     order is deliberately randomized by the runtime, so such a loop
+//     is a replay-divergence by construction. Annotate the range with
+//     //remspan:orderok (and say why) when order provably cannot reach
+//     output — e.g. the slice is consumed as a set.
+//
+// Test files are checked too when the driver analyzes test variants
+// (the `go vet -vettool` path does): benches and the chaos scenarios
+// carry the same replay pins as the library code.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"remspan/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "reject wall clocks, global math/rand, and map-order-dependent output in //remspan:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := analysis.ScanDirectives(pass)
+	if !dirs.Package(analysis.DirDeterministic) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, dirs, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, dirs *analysis.Directives, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Sort calls later in the function can fix a map-range's order;
+	// collect their positions first.
+	var sortEnds []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgFunc(info, call); fn != nil {
+			p := fn.Pkg().Path()
+			if p == "sort" || (p == "slices" && strings.HasPrefix(fn.Name(), "Sort")) {
+				sortEnds = append(sortEnds, call.End())
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := pkgFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			switch path := fn.Pkg().Path(); {
+			case path == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+				pass.Reportf(n.Pos(), "time.%s in deterministic package breaks bit replay", fn.Name())
+			case (path == "math/rand" || path == "math/rand/v2") && !strings.HasPrefix(fn.Name(), "New"):
+				// Constructors (New, NewSource, NewZipf, ...) build the
+				// explicitly seeded generators the rule demands; only
+				// the process-global entry points are divergent.
+				pass.Reportf(n.Pos(), "global math/rand call %s in deterministic package: use an explicitly seeded rand.Rand", fn.Name())
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, dirs, n, sortEnds)
+		}
+		return true
+	})
+}
+
+// pkgFunc resolves a call to a package-level function (not a method),
+// or nil.
+func pkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil // method: seeded generators are fine
+	}
+	return fn
+}
+
+// checkMapRange reports a range over a map whose body accumulates into
+// a slice declared outside the loop, unless a later sort fixes the
+// order or the loop is annotated //remspan:orderok.
+func checkMapRange(pass *analysis.Pass, dirs *analysis.Directives, rng *ast.RangeStmt, sortEnds []token.Pos) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if dirs.At(rng.Pos(), analysis.DirOrderOK) {
+		return
+	}
+	for _, end := range sortEnds {
+		if end > rng.End() {
+			return // a later sort re-establishes a deterministic order
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			dst, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := varOf(info, dst)
+			if v == nil || insideRange(v.Pos(), rng) {
+				continue
+			}
+			pass.Reportf(rng.Pos(), "map iteration order reaches ordered output through %s: sort afterwards or annotate //remspan:orderok", v.Name())
+			return false
+		}
+		return true
+	})
+}
+
+func varOf(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func insideRange(pos token.Pos, rng *ast.RangeStmt) bool {
+	return rng.Pos() <= pos && pos < rng.End()
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,64 @@
+// Package a is the detrand golden corpus.
+//
+//remspan:deterministic
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic package breaks bit replay"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package breaks bit replay"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand call Intn in deterministic package"
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(10) // methods on a seeded generator: allowed
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // seeded construction: allowed
+}
+
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration order reaches ordered output through out"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out) // a later sort fixes the order
+	return out
+}
+
+func mapOrderAnnotated(m map[int]int) []int {
+	var out []int
+	//remspan:orderok consumed as an unordered set by the caller
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapSum(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // order-insensitive reduction: allowed
+		sum += v
+	}
+	return sum
+}

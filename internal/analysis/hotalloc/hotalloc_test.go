@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/a")
+}

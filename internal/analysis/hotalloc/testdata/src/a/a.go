@@ -1,0 +1,102 @@
+// Package a is the hotalloc golden corpus: every allocating construct
+// the analyzer must flag inside a //remspan:hotpath function, the
+// escape hatches it must honor, and unannotated code it must ignore.
+package a
+
+import "fmt"
+
+type scratch struct {
+	buf []int32
+	n   int
+}
+
+func (s *scratch) Reset() {}
+
+var sink interface{}
+
+//remspan:hotpath
+func allocators(s *scratch, n int) []int32 {
+	x := make([]int32, n) // want "make allocates in hot path"
+	_ = x
+	p := new(int) // want "new allocates in hot path"
+	_ = p
+	q := &scratch{} // want "pointer composite literal allocates in hot path"
+	_ = q
+	_ = []int32{1, 2}        // want "slice literal allocates in hot path"
+	_ = map[int]int{1: 2}    // want "map literal allocates in hot path"
+	s.buf = append(s.buf, 1) // amortized self-append: allowed
+	t := append(s.buf, 2)    // want "append outside the s = append"
+	return t
+}
+
+//remspan:hotpath
+func boxing(s *scratch, v int32) interface{} {
+	fmt.Println(v)        // want "fmt.Println call allocates in hot path" "interface boxing of int32 at argument allocates in hot path"
+	sink = v              // want "interface boxing of int32 at assignment allocates in hot path"
+	var i interface{} = v // want "interface boxing of int32 at declaration allocates in hot path"
+	_ = i
+	_ = interface{}(v) // want "interface boxing of int32 at conversion allocates in hot path"
+	sink = s           // pointer-shaped: no boxing allocation
+	return v           // want "interface boxing of int32 at return allocates in hot path"
+}
+
+//remspan:hotpath
+func strings2(a, b string) string {
+	c := a + b            // want "string concatenation allocates in hot path"
+	c += a                // want "string concatenation allocates in hot path"
+	_ = []byte(a)         // want "string/slice conversion copies and allocates in hot path"
+	_ = string([]byte{1}) // want "slice literal allocates in hot path" "string/slice conversion copies and allocates in hot path"
+	return c
+}
+
+//remspan:hotpath
+func closures(s *scratch) {
+	f := func() int { return s.n } // want "closure captures s: closure allocates in hot path"
+	_ = f
+	g := func(x int) int { return x + 1 } // capture-free literal: allowed
+	_ = g
+	h := s.Reset // want "method value s.Reset allocates its receiver binding in hot path"
+	_ = h
+	s.Reset() // plain method call: allowed
+}
+
+//remspan:hotpath
+func reuseAppend(s *scratch, xs []int32) {
+	s.buf = append(s.buf[:0], xs...) // reuse idiom: allowed
+	s.buf = append(s.buf, 1)         // self-append: allowed
+}
+
+//remspan:hotpath
+func panics(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // panic is terminal: exempt
+	}
+}
+
+func take(f func() int) int { return f() }
+
+//remspan:hotpath
+func stackClosures(s *scratch, xs []int32) int {
+	gain := func(x int32) int { return int(x) + s.n } // called-only local: stays on the stack
+	total := 0
+	for _, x := range xs {
+		total += gain(x)
+	}
+	func() { total++ }()            // invoked in place: allowed
+	take(func() int { return s.n }) // want "closure captures s: closure allocates in hot path"
+	return total
+}
+
+//remspan:hotpath
+func coldBranch(s *scratch, n int) {
+	//remspan:coldpath grow-on-demand buffer, off the steady state
+	if cap(s.buf) < n {
+		s.buf = make([]int32, 0, n)
+	}
+	s.buf = s.buf[:0]
+}
+
+// unannotated allocates freely: not a hot path.
+func unannotated(n int) []int32 {
+	return make([]int32, n)
+}

@@ -1,0 +1,12 @@
+package rcupub_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/rcupub"
+)
+
+func TestRCUPub(t *testing.T) {
+	analysistest.Run(t, rcupub.Analyzer, "testdata/src/a")
+}

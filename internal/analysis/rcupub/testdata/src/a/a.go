@@ -1,0 +1,83 @@
+// Package a is the rcupub golden corpus.
+package a
+
+import "sync/atomic"
+
+type state struct{ rows []int32 }
+
+type store struct {
+	cur atomic.Pointer[state]
+}
+
+func publishThenWrite(st *store) {
+	s := &state{}
+	s.rows = []int32{1}
+	st.cur.Store(s)
+	s.rows = nil // want "write through s after it was published via atomic pointer Store"
+}
+
+func publishThenWriteDeep(st *store, xs []int32) {
+	s := &state{rows: xs}
+	st.cur.Store(s)
+	s.rows[0] = 7 // want "write through s after it was published"
+}
+
+func publishSwapThenWrite(st *store) {
+	s := &state{}
+	_ = st.cur.Swap(s)
+	s.rows = nil // want "write through s after it was published"
+}
+
+func publishClean(st *store) {
+	s := &state{}
+	s.rows = []int32{1}
+	st.cur.Store(s)
+}
+
+func nonPointerStoreIsNotPublication(sl *slot, s *state) {
+	sl.seq.Store(7)
+	s.rows = nil // seq is a plain counter, not a published object
+}
+
+type slot struct {
+	//remspan:atomic
+	seq atomic.Uint64
+	//remspan:atomic
+	bad uint64 // want "//remspan:atomic field must have a sync/atomic type, not uint64"
+	//remspan:atomic
+	slots []atomic.Uint32 // a table of atomic slots is fine
+	_     [40]byte
+}
+
+func consume(v slot) {}
+
+func copies(sl *slot) slot {
+	v := *sl   // want "copying struct with //remspan:atomic fields by value tears its atomic slots"
+	consume(v) // want "passing struct with //remspan:atomic fields by value tears its atomic slots"
+	return v   // want "returning struct with //remspan:atomic fields by value tears its atomic slots"
+}
+
+func pointersAreFine(sl *slot) *slot {
+	sl.seq.Store(1)
+	return sl
+}
+
+//remspan:refinc
+func addRef(m map[int]int, k int) { m[k]++ }
+
+//remspan:refdec
+func dropRef(m map[int]int, k int) { m[k]-- }
+
+func incBeforeDec(m map[int]int) {
+	addRef(m, 1)
+	dropRef(m, 2)
+}
+
+func decBeforeInc(m map[int]int) {
+	dropRef(m, 2) // want "refcount decrement dropRef before the increment in the same function"
+	addRef(m, 1)
+}
+
+func decOnly(m map[int]int) {
+	dropRef(m, 2) // teardown paths decrement alone: fine
+}

@@ -1,0 +1,366 @@
+// Package scratchescape enforces the scratch-lifetime contract: slices
+// backed by a *Scratch parameter are loans, valid only until the
+// scratch's next reset or epoch bump, and must not outlive the call
+// that borrowed them.
+//
+// A "scratch" is any named type whose name ends in Scratch (the repo's
+// convention: domtree.Scratch, graph.BFSScratch, graph.BitScratch,
+// graph.BallScratch, routing.RouteScratch, ...). In every function that
+// takes a scratch pointer as a parameter, an expression is
+// scratch-derived when it is a slice field of the scratch, a
+// slice/index of one, a slice returned by a method call on the scratch,
+// or a local assigned from any of those. The analyzer reports a
+// scratch-derived slice that is
+//
+//   - returned to the caller (methods on the scratch type itself are
+//     exempt: lending views is the scratch API's documented job);
+//   - stored into a field of a non-scratch struct;
+//   - sent on a channel;
+//   - captured by a function literal launched with go;
+//   - used after a Reset*/Begin call on the scratch it borrows from,
+//     in the same statement list (the epoch that backed it is gone).
+//
+// A statement annotated //remspan:scratchok is exempt: a hand-audited
+// lifetime handoff whose safety argument lives in that comment.
+//
+// The dataflow is intraprocedural and name-based by design: the point
+// is a cheap vet-time gate over the ~250 scratch use sites, not an
+// escape analysis. Cross-function loans (a callee storing its scratch
+// argument) are each visible in the callee itself, which is also
+// checked.
+package scratchescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"remspan/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchescape",
+	Doc:  "reject scratch-backed slices escaping their borrowing function or surviving a reset",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := analysis.ScanDirectives(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvIsScratch(pass, fd) {
+				continue // the scratch's own API lends views by contract
+			}
+			roots := scratchParams(pass, fd)
+			if len(roots) == 0 {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, roots: roots, derived: map[*types.Var]*types.Var{}}
+			c.collectDerived(fd.Body)
+			c.check(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isScratchType reports whether t is (a pointer to) a named type whose
+// name ends in "Scratch".
+func isScratchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return strings.HasSuffix(n.Obj().Name(), "Scratch")
+	}
+	return false
+}
+
+func recvIsScratch(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return isScratchType(pass.TypesInfo.Types[fd.Recv.List[0].Type].Type)
+}
+
+// scratchParams returns the *Scratch-typed parameter objects of fd.
+func scratchParams(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	roots := make(map[*types.Var]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isScratchType(v.Type()) {
+				roots[v] = true
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	return roots
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	dirs    *analysis.Directives
+	roots   map[*types.Var]bool
+	derived map[*types.Var]*types.Var // local slice var -> scratch param it borrows from
+}
+
+// collectDerived records locals assigned from scratch-derived slices,
+// iterating to a fixpoint so chains (a := s.Buf; b := a[1:]) resolve.
+func (c *checker) collectDerived(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := c.objOf(id)
+				if v == nil || c.derived[v] != nil {
+					continue
+				}
+				if root := c.scratchDerived(as.Rhs[i]); root != nil {
+					c.derived[v] = root
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) objOf(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (c *checker) isSlice(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Slice)
+	return ok
+}
+
+// scratchDerived returns the scratch parameter backing the slice
+// expression e, or nil when e is not a scratch-derived slice.
+func (c *checker) scratchDerived(e ast.Expr) *types.Var {
+	if !c.isSlice(e) {
+		return nil
+	}
+	return c.rootOf(e)
+}
+
+// rootOf walks selector/index/slice/call chains down to a scratch
+// parameter (or a local recorded as borrowing from one).
+func (c *checker) rootOf(e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := c.objOf(e)
+		if v == nil {
+			return nil
+		}
+		if c.roots[v] {
+			return v
+		}
+		return c.derived[v]
+	case *ast.SelectorExpr:
+		return c.rootOf(e.X)
+	case *ast.IndexExpr:
+		return c.rootOf(e.X)
+	case *ast.SliceExpr:
+		return c.rootOf(e.X)
+	case *ast.CallExpr:
+		// A method call on the scratch returning a slice is a loan
+		// (e.g. s.UnionSorted()).
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return c.rootOf(sel.X)
+		}
+	case *ast.StarExpr:
+		return c.rootOf(e.X)
+	}
+	return nil
+}
+
+func (c *checker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if c.exempt(n.Pos()) {
+				return true
+			}
+			for _, r := range n.Results {
+				if root := c.scratchDerived(r); root != nil {
+					c.pass.Reportf(r.Pos(), "returning slice backed by scratch parameter %s: loan outlives the call", root.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			if c.exempt(n.Pos()) || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				root := c.scratchDerived(n.Rhs[i])
+				if root == nil {
+					continue
+				}
+				// Writing back into the same scratch is the scratch
+				// maintaining itself; anything else retains the loan.
+				if tgt := c.rootOf(sel.X); tgt != nil {
+					continue
+				}
+				if isScratchType(c.pass.TypesInfo.Types[sel.X].Type) {
+					continue
+				}
+				c.pass.Reportf(n.Pos(), "storing slice backed by scratch parameter %s into non-scratch field %s", root.Name(), types.ExprString(lhs))
+			}
+		case *ast.SendStmt:
+			if c.exempt(n.Pos()) {
+				return true
+			}
+			if root := c.scratchDerived(n.Value); root != nil {
+				c.pass.Reportf(n.Pos(), "sending slice backed by scratch parameter %s on a channel", root.Name())
+			}
+		case *ast.GoStmt:
+			if c.exempt(n.Pos()) {
+				return true
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				c.goCapture(n, lit)
+			}
+		case *ast.BlockStmt:
+			c.useAfterReset(n.List)
+		case *ast.CaseClause:
+			c.useAfterReset(n.Body)
+		}
+		return true
+	})
+}
+
+func (c *checker) exempt(pos token.Pos) bool {
+	return c.dirs.At(pos, analysis.DirScratchOK)
+}
+
+// goCapture reports scratch-derived slice locals captured by a
+// goroutine literal: the loan crosses into a concurrent lifetime.
+func (c *checker) goCapture(g *ast.GoStmt, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if root := c.derived[v]; root != nil && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			c.pass.Reportf(id.Pos(), "goroutine captures slice %s backed by scratch parameter %s", v.Name(), root.Name())
+		}
+		return true
+	})
+}
+
+// useAfterReset scans one statement list linearly: once a
+// Reset*/Begin-style call on a scratch parameter passes, loans borrowed
+// from that scratch earlier in the list are dead.
+func (c *checker) useAfterReset(stmts []ast.Stmt) {
+	live := make(map[*types.Var]*types.Var) // local -> root, assigned before the reset
+	dead := make(map[*types.Var]bool)
+	for _, st := range stmts {
+		// A reset on root s kills every live loan from s.
+		if reset := c.resetTarget(st); reset != nil {
+			for v, root := range live {
+				if root == reset {
+					dead[v] = true
+					delete(live, v)
+				}
+			}
+			continue
+		}
+		if len(dead) > 0 && !c.exempt(st.Pos()) {
+			ast.Inspect(st, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && dead[v] {
+					c.pass.Reportf(id.Pos(), "use of scratch-backed slice %s after the scratch was reset", v.Name())
+					dead[v] = false // one report per loan
+				}
+				return true
+			})
+		}
+		// Record loans assigned by this statement.
+		ast.Inspect(st, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v := c.objOf(id); v != nil {
+						if root := c.scratchDerived(as.Rhs[i]); root != nil {
+							live[v] = root
+						} else {
+							delete(live, v) // reassigned away from the loan
+							delete(dead, v)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resetTarget returns the scratch parameter a statement resets, if the
+// statement is a bare call s.Reset*/s.Begin() on one.
+func (c *checker) resetTarget(st ast.Stmt) *types.Var {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	name := sel.Sel.Name
+	if !strings.HasPrefix(name, "Reset") && name != "Begin" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := c.objOf(id)
+	if v != nil && c.roots[v] {
+		return v
+	}
+	return nil
+}

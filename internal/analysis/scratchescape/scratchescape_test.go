@@ -1,0 +1,12 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/scratchescape"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, scratchescape.Analyzer, "testdata/src/a")
+}

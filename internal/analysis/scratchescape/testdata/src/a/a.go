@@ -1,0 +1,67 @@
+// Package a is the scratchescape golden corpus.
+package a
+
+// BFSScratch stands in for the repo's epoch-stamped scratch types: the
+// Scratch name suffix is the analyzer's convention.
+type BFSScratch struct {
+	dist []int32
+	tmp  []int32
+}
+
+func (s *BFSScratch) Reset() {}
+
+// Rows is scratch API lending a view: methods on the scratch itself
+// are exempt.
+func (s *BFSScratch) Rows() []int32 { return s.dist }
+
+type holder struct{ cache []int32 }
+
+func returnsLoan(s *BFSScratch) []int32 {
+	return s.dist // want "returning slice backed by scratch parameter s: loan outlives the call"
+}
+
+func returnsChain(s *BFSScratch) []int32 {
+	d := s.dist[1:]
+	return d // want "returning slice backed by scratch parameter s"
+}
+
+func returnsMethodLoan(s *BFSScratch) []int32 {
+	return s.Rows() // want "returning slice backed by scratch parameter s"
+}
+
+func stores(s *BFSScratch, h *holder) {
+	h.cache = s.dist // want "storing slice backed by scratch parameter s into non-scratch field h.cache"
+}
+
+func sends(s *BFSScratch, ch chan []int32) {
+	ch <- s.dist[:2] // want "sending slice backed by scratch parameter s on a channel"
+}
+
+func launches(s *BFSScratch) {
+	d := s.dist
+	go func() {
+		_ = d // want "goroutine captures slice d backed by scratch parameter s"
+	}()
+}
+
+func useAfterReset(s *BFSScratch) int32 {
+	d := s.dist
+	x := d[0]
+	s.Reset()
+	return x + d[1] // want "use of scratch-backed slice d after the scratch was reset"
+}
+
+func okUses(s *BFSScratch, out []int32) []int32 {
+	d := s.dist
+	copy(out, d)   // copying out of the loan is fine
+	s.dist = d[:0] // the scratch maintaining itself is fine
+	s.Reset()
+	d2 := s.dist // re-borrowing after the reset is fine
+	_ = d2
+	return out // caller-owned: fine
+}
+
+func exemptReturn(s *BFSScratch) []int32 {
+	//remspan:scratchok audited handoff: caller documented to copy before next use
+	return s.dist
+}

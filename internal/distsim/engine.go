@@ -566,6 +566,8 @@ func (e *Engine) RefloodLossy(changes []dynamic.Change, drop func(root int32) bo
 // floodCost returns the cost of flooding one payload of the given word
 // count (framing included) from src to radius R: every node within
 // distance R−1 retransmits it once on all its links.
+//
+//remspan:hotpath
 func (e *Engine) floodCost(w *engineWorker, src int, payload int64) (msgs, words int64) {
 	if e.radius == 1 {
 		d := int64(e.delta.Degree(src))

@@ -9,6 +9,7 @@ import (
 	"remspan/internal/gen"
 	"remspan/internal/geom"
 	"remspan/internal/graph"
+	"remspan/internal/testutil"
 )
 
 // centralizedSpanner is the ground-truth union-of-trees construction on
@@ -260,13 +261,10 @@ func TestEngineTickZeroAlloc(t *testing.T) {
 		e.Reflood(add)
 		e.Reflood(del)
 	}
-	allocs := testing.AllocsPerRun(50, func() {
+	testutil.PinAllocs(t, "steady-state toggle pair", 50, func() {
 		e.Reflood(add)
 		e.Reflood(del)
 	})
-	if allocs > 0 {
-		t.Fatalf("steady-state tick allocates %.1f times per toggle pair", allocs)
-	}
 }
 
 // TestBallDepthInvariant: the engine panics if a builder emits a tree

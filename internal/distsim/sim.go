@@ -25,6 +25,12 @@
 //
 // RunRemSpanAsync additionally executes the flooding with random
 // per-link delays to demonstrate timing invariance.
+//
+// Differential pins demand bit-identical replays from a seed, so
+// library code must stay off wall clocks, unseeded randomness, and
+// map-ordered output.
+//
+//remspan:deterministic
 package distsim
 
 import (

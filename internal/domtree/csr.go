@@ -24,6 +24,8 @@ import (
 // selection uses the lazy heap (candidate gains only decrease, so a
 // possibly-stale max-heap pops the true argmax after a few refreshes),
 // preserving the (gain desc, id asc) tie-break of the eager reference.
+//
+//remspan:hotpath
 func KGreedyCSR(c graph.View, s *Scratch, u, k int) *graph.Tree {
 	if k < 1 {
 		panic("domtree: KGreedyCSR requires k >= 1")
@@ -118,6 +120,8 @@ func KGreedyCSR(c graph.View, s *Scratch, u, k int) *graph.Tree {
 
 // MISCSR computes Algorithm 2 DomTreeMIS(r, 1) for root u on the CSR
 // snapshot; see MIS for the algorithm and guarantees.
+//
+//remspan:hotpath
 func MISCSR(c graph.View, s *Scratch, u, r int) *graph.Tree {
 	if r < 2 {
 		panic("domtree: MISCSR requires r >= 2")
@@ -137,6 +141,7 @@ func MISCSR(c graph.View, s *Scratch, u, r int) *graph.Tree {
 	var b []int32
 	if ballDense := 4*len(visited) >= c.N(); ballDense {
 		counts := s.buf2
+		//remspan:coldpath grow to the radius high-water mark, then reused
 		if cap(counts) < r+1 {
 			counts = make([]int32, r+1)
 		} else {
@@ -153,6 +158,7 @@ func MISCSR(c graph.View, s *Scratch, u, r int) *graph.Tree {
 				total++
 			}
 		}
+		//remspan:coldpath grow to the ball-size high-water mark, then reused
 		if cap(s.buf1) < total {
 			s.buf1 = make([]int32, total)
 		}
@@ -207,6 +213,8 @@ func MISCSR(c graph.View, s *Scratch, u, r int) *graph.Tree {
 // cover runs on the lazy heap, killing the O(|X|²) candidate rescan of
 // the reference while preserving its (gain desc, id asc) selection
 // order exactly (see the determinism contract in greedy.go).
+//
+//remspan:hotpath
 func GreedyCSR(c graph.View, s *Scratch, u, r, beta int) *graph.Tree {
 	if r < 2 {
 		panic("domtree: GreedyCSR requires r >= 2")
@@ -296,6 +304,8 @@ func GreedyCSR(c graph.View, s *Scratch, u, r, beta int) *graph.Tree {
 
 // KMISCSR computes Algorithm 5 DomTreeMIS(2, 1, k) for root u on the
 // CSR snapshot; see KMIS for the algorithm and guarantees.
+//
+//remspan:hotpath
 func KMISCSR(c graph.View, s *Scratch, u, k int) *graph.Tree {
 	if k < 1 {
 		panic("domtree: KMISCSR requires k >= 1")

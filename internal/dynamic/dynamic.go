@@ -238,6 +238,8 @@ func (m *Maintainer) applyOne(ch Change) bool {
 // distributed protocol simulator's live re-advertisement driver — share
 // the exact dirty-ball rule the Maintainer's equivalence proofs cover,
 // rather than approximating it.
+//
+//remspan:hotpath
 func ApplyChange(g *graph.Graph, delta *graph.CSRDelta, dirty *graph.BFSScratch, radius int, ch Change) bool {
 	switch ch.Kind {
 	case AddEdge:

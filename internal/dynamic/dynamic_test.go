@@ -8,6 +8,7 @@ import (
 	"remspan/internal/gen"
 	"remspan/internal/graph"
 	"remspan/internal/spanner"
+	"remspan/internal/testutil"
 )
 
 func kgreedyBuilder(k int) TreeBuilder {
@@ -438,13 +439,10 @@ func TestMaintainerSteadyStateAllocs(t *testing.T) {
 	m.RemoveEdge(0, 41)
 	m.AddEdge(0, 41)
 	m.RemoveEdge(0, 41)
-	allocs := testing.AllocsPerRun(50, func() {
+	testutil.PinAllocs(t, "steady-state edge toggle", 50, func() {
 		m.AddEdge(0, 41)
 		m.RemoveEdge(0, 41)
 	})
-	if allocs > 0 {
-		t.Fatalf("steady-state edge toggle allocates %.1f times per toggle pair", allocs)
-	}
 }
 
 // FuzzChurnEquivalence feeds arbitrary change scripts to the maintainer

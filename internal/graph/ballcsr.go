@@ -43,6 +43,8 @@ func NewBallScratch(n int) *BallScratch {
 // back into the ball). It returns the view, u's local id, and the
 // member list mapping local ids back to global ids (sorted ascending).
 // Everything returned is scratch-owned and valid until the next call.
+//
+//remspan:hotpath
 func (b *BallScratch) Extract(v View, u, radius int) (local *CSR, root int, members []int32) {
 	dist, _, visited := b.bfs.BoundedView(v, u, radius)
 

@@ -3,6 +3,8 @@ package graph
 import (
 	"math/rand"
 	"testing"
+
+	"remspan/internal/testutil"
 )
 
 func randomBallGraph(n int, rng *rand.Rand) *Graph {
@@ -91,13 +93,10 @@ func TestBallExtractReuse(t *testing.T) {
 	for u := 0; u < g.N(); u++ { // warm to the high-water mark
 		b.Extract(g, u, 2)
 	}
-	allocs := testing.AllocsPerRun(100, func() {
+	testutil.PinAllocs(t, "warm extraction", 100, func() {
 		b.Extract(g, 17, 2)
 		b.Extract(g, 311, 2)
 	})
-	if allocs > 0 {
-		t.Fatalf("warm extraction allocates %.1f per pair", allocs)
-	}
 }
 
 // TestBallExtractIsolated: an isolated root yields the singleton view.

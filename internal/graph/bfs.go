@@ -98,6 +98,8 @@ func (s *BFSScratch) Bounded(g *Graph, src, maxDist int) (dist, parent, visited 
 // BoundedView is Bounded over any View — the mutable graph, the
 // immutable CSR snapshots of the batch pipeline and the patched
 // CSRDelta of the incremental maintainer all run this one traversal.
+//
+//remspan:hotpath
 func (s *BFSScratch) BoundedView(c View, src, maxDist int) (dist, parent, visited []int32) {
 	// Reset only the vertices touched by the previous run.
 	for _, v := range s.touched {
@@ -146,6 +148,8 @@ func (s *BFSScratch) ResetUnion() {
 
 // UnionBounded runs a bounded BFS from src over v and adds every reached
 // vertex to the union accumulated since the last ResetUnion.
+//
+//remspan:hotpath
 func (s *BFSScratch) UnionBounded(v View, src, maxDist int) {
 	_, _, visited := s.BoundedView(v, src, maxDist)
 	e := s.unionEpoch

@@ -88,6 +88,8 @@ func NewBitScratchMasks(n int) *BitScratch {
 // touched. (next and frontier are self-cleaning over a completed
 // sweep, but seeded batches may be abandoned before sweeping, so the
 // whole stripe is re-zeroed here.)
+//
+//remspan:hotpath
 func (s *BitScratch) Begin() {
 	for _, v := range s.touched {
 		s.stripes[v] = stripe{}
@@ -99,6 +101,8 @@ func (s *BitScratch) Begin() {
 // Seed marks source bit i as having reached v at distance d without
 // placing v on the frontier: bit i will not expand from v. First seed
 // of a (bit, vertex) pair wins; later seeds are ignored.
+//
+//remspan:hotpath
 func (s *BitScratch) Seed(i uint, v int, d int32) {
 	b := uint64(1) << i
 	st := &s.stripes[v]
@@ -116,6 +120,8 @@ func (s *BitScratch) Seed(i uint, v int, d int32) {
 
 // SeedFrontier seeds bit i at v with distance d and places it on the
 // frontier, so the next Sweep expands it.
+//
+//remspan:hotpath
 func (s *BitScratch) SeedFrontier(i uint, v int, d int32) {
 	b := uint64(1) << i
 	st := &s.stripes[v]
@@ -138,6 +144,8 @@ func (s *BitScratch) SeedFrontier(i uint, v int, d int32) {
 // Sweep runs the seeded batch to exhaustion over view: vertices first
 // reached in the initial expansion are recorded at level, the next
 // wave at level+1, and so on.
+//
+//remspan:hotpath
 func (s *BitScratch) Sweep(view View, level int32) {
 	for s.Step(view, level) {
 		level++
@@ -150,6 +158,8 @@ func (s *BitScratch) Sweep(view View, level int32) {
 // of spanner verification) drive Step directly; Sweep is the
 // run-to-exhaustion loop. The *CSR fast path avoids an interface call
 // per frontier vertex; any other View traverses generically.
+//
+//remspan:hotpath
 func (s *BitScratch) Step(view View, level int32) bool {
 	if len(s.cur) == 0 {
 		return false
@@ -199,6 +209,8 @@ func (s *BitScratch) Step(view View, level int32) bool {
 // Each (source, vertex) pair is claimed exactly once. The callback
 // runs inside the expansion with x's state hot in cache; it must not
 // call back into this BitScratch.
+//
+//remspan:hotpath
 func (s *BitScratch) SweepClaim(view View, level int32, claim func(x, v int32, newBits uint64, level int32)) {
 	for s.stepClaim(view, level, claim) {
 		level++
@@ -207,6 +219,8 @@ func (s *BitScratch) SweepClaim(view View, level int32, claim func(x, v int32, n
 
 // stepClaim is Step with sorted-frontier expansion and the first-
 // arrival claim callback.
+//
+//remspan:hotpath
 func (s *BitScratch) stepClaim(view View, level int32, claim func(x, v int32, newBits uint64, level int32)) bool {
 	if len(s.cur) == 0 {
 		return false
@@ -258,12 +272,15 @@ func (s *BitScratch) stepClaim(view View, level int32, claim func(x, v int32, ne
 // long ones (a comparison sort here would cost as much as the claim
 // pass it serves). The swap buffer is lazily sized once, so sorted
 // sweeps stay allocation-free when warm.
+//
+//remspan:hotpath
 func (s *BitScratch) sortFrontier() {
 	a := s.cur
 	if len(a) <= 64 {
 		slices.Sort(a)
 		return
 	}
+	//remspan:coldpath one-time radix buffer grow to the scratch high-water mark
 	if cap(s.sortBuf) < len(a) {
 		s.sortBuf = make([]int32, len(s.stripes))
 	}
@@ -299,6 +316,8 @@ func (s *BitScratch) SetVisit(fn func(v int32, newBits uint64, level int32)) { s
 // collect drains the arrival masks into the next frontier, recording
 // first-visit distances for newly set bits (or streaming them to the
 // visit callback when one is installed).
+//
+//remspan:hotpath
 func (s *BitScratch) collect(arrivals, nxt []int32, level int32) []int32 {
 	stripes := s.stripes
 	for _, v := range arrivals {
@@ -330,6 +349,8 @@ func (s *BitScratch) collect(arrivals, nxt []int32, level int32) []int32 {
 // SweepFrom runs a plain batched BFS over view from the count sources
 // base..base+count-1, bit i owning source base+i. count must be in
 // [1, 64].
+//
+//remspan:hotpath
 func (s *BitScratch) SweepFrom(view View, base, count int) {
 	s.Begin()
 	for i := 0; i < count; i++ {
@@ -340,6 +361,8 @@ func (s *BitScratch) SweepFrom(view View, base, count int) {
 
 // SweepSources runs a plain batched BFS over view from the given
 // sources (1 ≤ len ≤ 64), bit i owning sources[i].
+//
+//remspan:hotpath
 func (s *BitScratch) SweepSources(view View, sources []int32) {
 	s.Begin()
 	for i, u := range sources {
@@ -355,6 +378,8 @@ func (s *BitScratch) SweepSources(view View, sources []int32) {
 // sources themselves (distance 0) are not reported. The callback runs
 // inside the sweep's collect phase: it must not call back into this
 // BitScratch.
+//
+//remspan:hotpath
 func (s *BitScratch) SweepSourcesVisit(view View, sources []int32, visit func(v int32, newBits uint64, level int32)) {
 	s.Begin()
 	for i, u := range sources {

@@ -3,6 +3,8 @@ package graph
 import (
 	"math/rand"
 	"testing"
+
+	"remspan/internal/testutil"
 )
 
 // bitFamilies builds the generator families the batch engine is pinned
@@ -131,13 +133,10 @@ func TestBitSweepZeroAlloc(t *testing.T) {
 	c := NewCSR(g)
 	s := NewBitScratch(g.N())
 	s.SweepFrom(c, 0, 64) // warm-up
-	allocs := testing.AllocsPerRun(20, func() {
+	testutil.PinAllocs(t, "batch sweep", 20, func() {
 		s.SweepFrom(c, 64, 64)
 		s.SweepFrom(c, 0, 64)
 	})
-	if allocs != 0 {
-		t.Fatalf("batch sweep allocates %.1f/op, want 0", allocs)
-	}
 }
 
 func BenchmarkBitSweep64(b *testing.B) {

@@ -3,6 +3,8 @@ package graph
 import (
 	"math/rand"
 	"testing"
+
+	"remspan/internal/testutil"
 )
 
 // sameView asserts v and g expose identical adjacency.
@@ -102,11 +104,8 @@ func TestCSRDeltaToggleSteadyStateAllocs(t *testing.T) {
 	d := NewCSRDelta(NewCSR(g))
 	d.AddEdge(10, 500) // warm the two rows
 	d.RemoveEdge(10, 500)
-	allocs := testing.AllocsPerRun(100, func() {
+	testutil.PinAllocs(t, "steady-state toggle", 100, func() {
 		d.AddEdge(10, 500)
 		d.RemoveEdge(10, 500)
 	})
-	if allocs != 0 {
-		t.Fatalf("steady-state toggle allocates %.1f times", allocs)
-	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"remspan/internal/geom"
 	"remspan/internal/graph"
+	"remspan/internal/testutil"
 )
 
 // TestTrackerMatchesUnitDiskGraph: after every tick the tracker's
@@ -59,10 +60,7 @@ func TestTrackerSteadyStateAllocs(t *testing.T) {
 	for i := 0; i < 50; i++ { // reach the buffer high-water mark
 		tr.Tick()
 	}
-	allocs := testing.AllocsPerRun(30, func() { tr.Tick() })
-	if allocs > 0 {
-		t.Fatalf("steady-state tick allocates %.1f times", allocs)
-	}
+	testutil.PinAllocs(t, "steady-state tick", 30, func() { tr.Tick() })
 }
 
 // TestTrackerDegreeAccessor keeps Degree in sync with the materialized
@@ -97,9 +95,7 @@ func TestTrackerZeroNodes(t *testing.T) {
 			t.Fatalf("tick %d: diff on an empty fleet (+%d −%d)", i, len(added), len(removed))
 		}
 	}
-	if allocs := testing.AllocsPerRun(10, func() { tr.Tick() }); allocs > 0 {
-		t.Fatalf("zero-node tick allocates %.1f times", allocs)
-	}
+	testutil.PinAllocs(t, "zero-node tick", 10, func() { tr.Tick() })
 }
 
 // TestTrackerSingleCell: a square smaller than the connection radius

@@ -40,7 +40,7 @@ type Replica struct {
 	ID int
 
 	n     int
-	state atomic.Pointer[repState]
+	state atomic.Pointer[repState] //remspan:atomic
 
 	// Protocol state (cluster-loop-owned).
 	applied uint64
@@ -50,8 +50,8 @@ type Replica struct {
 
 	// Health flags, atomic because clients probe them concurrently
 	// with the protocol thread flipping them.
-	down  atomic.Bool
-	stall atomic.Bool
+	down  atomic.Bool //remspan:atomic
+	stall atomic.Bool //remspan:atomic
 
 	// Degraded-mode view (mirrorMu guards both against the protocol
 	// thread; the table query path never touches them).
@@ -201,6 +201,10 @@ func (r *Replica) installFull(sh *Shipment) {
 	r.state.Store(&repState{seq: sh.Seq, tables: tables})
 }
 
+// applyDelta allocates by design: the previous repState is still being
+// read lock-free, so each shipment lands in a fresh tables slice and
+// state struct (RCU swap) — the zero-alloc contract is on the query
+// path below, not here.
 func (r *Replica) applyDelta(sh *Shipment) {
 	cur := r.state.Load()
 	tables := make([]routing.Table, r.n)
@@ -240,6 +244,8 @@ func (r *Replica) drainPending() {
 
 // NextHop returns s's next hop toward t in the replica's applied epoch
 // (-1 when unreachable or nothing applied yet). Lock-free.
+//
+//remspan:hotpath
 func (r *Replica) NextHop(s, t int) int32 {
 	st := r.state.Load()
 	if st.tables == nil {
@@ -250,6 +256,8 @@ func (r *Replica) NextHop(s, t int) int32 {
 
 // Dist returns s's believed distance to t (graph.Unreached when
 // unknown or nothing applied yet). Lock-free.
+//
+//remspan:hotpath
 func (r *Replica) Dist(s, t int) int32 {
 	st := r.state.Load()
 	if st.tables == nil {
@@ -261,6 +269,8 @@ func (r *Replica) Dist(s, t int) int32 {
 // Route walks s→t through the applied epoch's tables into the
 // caller-owned path buffer, returning the epoch it served from.
 // Lock-free; an empty replica reports RouteUnreachable at s.
+//
+//remspan:hotpath
 func (r *Replica) Route(s, t int, path []int32) (routing.Route, uint64) {
 	st := r.state.Load()
 	if st.tables == nil {

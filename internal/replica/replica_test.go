@@ -12,6 +12,7 @@ import (
 	"remspan/internal/graph"
 	"remspan/internal/mobility"
 	"remspan/internal/routing"
+	"remspan/internal/testutil"
 )
 
 // fixture is a live mobile network feeding a writer-side store: the
@@ -556,4 +557,32 @@ func TestReplicaConcurrentQueries(t *testing.T) {
 	if bad.Load() != 0 {
 		t.Fatal("concurrent query returned a zero Route")
 	}
+}
+
+// TestReplicaQueryZeroAlloc pins the lock-free query side: once a
+// replica serves an applied epoch and the caller's path buffer is
+// warm, NextHop, Dist and Route allocate nothing. The apply side
+// allocates by design (each shipment installs a fresh immutable
+// repState — RCU); the zero-alloc contract lives entirely on the
+// query path, which remspanlint's hotalloc analyzer guards statically.
+func TestReplicaQueryZeroAlloc(t *testing.T) {
+	fix := newFixture(120, 8, 44)
+	c := NewCluster(fix.st, 2, FaultPlan{Seed: 9})
+	for tick := 0; tick < 5; tick++ {
+		c.Tick(fix.tick())
+	}
+	r := c.Replicas[0]
+	if r.AppliedSeq() == 0 {
+		t.Fatal("replica never applied a shipment")
+	}
+	rt, _ := r.Route(0, 119, make([]int32, 0, 256)) // warm the buffer
+	path := rt.Path
+	testutil.PinAllocs(t, "replica query path", 50, func() {
+		_ = r.NextHop(3, 90)
+		_ = r.Dist(7, 64)
+		rt, _ := r.Route(0, 119, path[:0])
+		if rt.OK {
+			path = rt.Path
+		}
+	})
 }

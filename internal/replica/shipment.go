@@ -14,6 +14,11 @@
 // fault-injection transport (faultinject.go) drops, delays, reorders
 // and partitions shipments and crashes replicas mid-stream, so every
 // recovery path is exercised by seeded, replayable chaos scenarios.
+//
+// Chaos runs replay bit-identically from a seed, so library code must
+// stay off wall clocks, unseeded randomness, and map-ordered output.
+//
+//remspan:deterministic
 package replica
 
 import (

@@ -51,6 +51,14 @@ import (
 // scattered owners on a high-diameter graph would forfeit the word
 // parallelism (see graph.BatchOrder).
 
+// halfWidthMaxN is the largest vertex count the uint32-packed engine
+// serves: next hop and BFS level each live in a 16-bit half, so every
+// vertex id and level in 0..n-1 must fit uint16 with the top id 0xffff
+// left clear of the all-ones unreached fold. Graphs past this run the
+// uint64 engine — selected once at construction and re-checked per
+// group, so a mismatch panics instead of silently truncating ids.
+const halfWidthMaxN = 0xffff
+
 // BatchBuilder is the reusable engine of word-parallel table
 // construction. All state resets through touched lists, so a warm
 // builder constructs any number of table groups with zero allocations
@@ -80,7 +88,7 @@ func NewBatchBuilder(n int) *BatchBuilder {
 		groupDist: make([][]int32, 0, 64),
 	}
 	// Bound once so sweeps are allocation-free when warm.
-	if n <= 0xffff {
+	if n <= halfWidthMaxN {
 		b.scr32 = make([]uint32, n*64)
 		b.claim = b.claimEdge32
 	} else {
@@ -94,6 +102,8 @@ func NewBatchBuilder(n int) *BatchBuilder {
 // arriving at v through (x, v) inherit x's next hops and record the
 // arrival level, in one packed store per bit. x's row stays hot across
 // all of x's edges (the callback fires mid-expansion).
+//
+//remspan:hotpath
 func (b *BatchBuilder) claimEdge64(x, v int32, newBits uint64, level int32) {
 	base, xb := int(v)<<6, int(x)<<6
 	lvl := uint64(uint32(level))
@@ -106,6 +116,8 @@ func (b *BatchBuilder) claimEdge64(x, v int32, newBits uint64, level int32) {
 
 // claimEdge32 is claimEdge64 on the half-width scratch (n ≤ 65535:
 // next hop and level both fit 16 bits).
+//
+//remspan:hotpath
 func (b *BatchBuilder) claimEdge32(x, v int32, newBits uint64, level int32) {
 	base, xb := int(v)<<6, int(x)<<6
 	lvl := uint32(uint16(level))
@@ -119,6 +131,8 @@ func (b *BatchBuilder) claimEdge32(x, v int32, newBits uint64, level int32) {
 // buildGroup constructs the tables of up to 64 owners in one sweep:
 // next[i]/dist[i] receive owner owners[i]'s rows (each of length ≥ n,
 // fully overwritten).
+//
+//remspan:hotpath
 func (b *BatchBuilder) buildGroup(g, h graph.View, owners []int32, next, dist [][]int32) {
 	if len(owners) == 0 {
 		return
@@ -127,6 +141,11 @@ func (b *BatchBuilder) buildGroup(g, h graph.View, owners []int32, next, dist []
 		panic("routing: batch group exceeds 64 owners")
 	}
 	n := g.N()
+	if b.scr32 != nil && n > halfWidthMaxN {
+		// A builder sized for a small graph driven over a bigger one
+		// would truncate vertex ids to 16 bits; fail loudly instead.
+		panic("routing: half-width batch engine driven past 65535 vertices; size NewBatchBuilder to the graph")
+	}
 	b.bs.Begin()
 	for i, uu := range owners {
 		u := int(uu)
@@ -195,6 +214,8 @@ func (b *BatchBuilder) buildGroup(g, h graph.View, owners []int32, next, dist []
 // — in consecutive groups of up to 64 per sweep. Owners should arrive
 // ball-clustered (graph.BatchOrder) or at least id-sorted: sweep cost
 // grows with the spread of the group's wavefronts.
+//
+//remspan:hotpath
 func (b *BatchBuilder) BuildInto(g, h graph.View, tables []Table, owners []int32) {
 	for start := 0; start < len(owners); start += 64 {
 		end := start + 64

@@ -1,0 +1,90 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"remspan/internal/gen"
+)
+
+// TestBatchEngineSelectionBoundary pins the half-width cutoff exactly:
+// 65535 vertices still run the uint32-packed engine, one more falls
+// back to uint64 words.
+func TestBatchEngineSelectionBoundary(t *testing.T) {
+	half := NewBatchBuilder(halfWidthMaxN)
+	if half.scr32 == nil || half.scr64 != nil {
+		t.Fatalf("n=%d: want the uint32-packed engine, got scr32=%v scr64=%v",
+			halfWidthMaxN, half.scr32 != nil, half.scr64 != nil)
+	}
+	wide := NewBatchBuilder(halfWidthMaxN + 1)
+	if wide.scr64 == nil || wide.scr32 != nil {
+		t.Fatalf("n=%d: want the uint64 engine, got scr32=%v scr64=%v",
+			halfWidthMaxN+1, wide.scr32 != nil, wide.scr64 != nil)
+	}
+}
+
+// checkBoundaryTables builds the tables of a few extreme-id owners on
+// the word-parallel engine and compares them row-for-row with the
+// scalar per-owner builder. A star keeps distances (and therefore the
+// sweep) shallow, so the test exercises the full vertex-id range —
+// including n-1 as owner, destination, and packed next-hop value —
+// without materializing n×n state.
+func checkBoundaryTables(t *testing.T, n int) {
+	t.Helper()
+	g := gen.Star(n)
+	owners := []int32{0, int32(n / 2), int32(n - 1)}
+
+	b := NewBatchBuilder(n)
+	next := make([][]int32, len(owners))
+	dist := make([][]int32, len(owners))
+	for i := range owners {
+		next[i] = make([]int32, n)
+		dist[i] = make([]int32, n)
+	}
+	b.buildGroup(g, g, owners, next, dist)
+
+	ts := NewTableScratch(n)
+	refNext := make([]int32, n)
+	refDist := make([]int32, n)
+	for i, u := range owners {
+		ts.BuildTableInto(g, g, int(u), refNext, refDist)
+		for v := 0; v < n; v++ {
+			if next[i][v] != refNext[v] || dist[i][v] != refDist[v] {
+				t.Fatalf("n=%d owner %d dest %d: batched (next=%d dist=%d), scalar (next=%d dist=%d)",
+					n, u, v, next[i][v], dist[i][v], refNext[v], refDist[v])
+			}
+		}
+	}
+}
+
+// TestBatchBoundaryHalfWidthTop drives the uint32-packed engine at its
+// very last admissible size, n = 65535.
+func TestBatchBoundaryHalfWidthTop(t *testing.T) {
+	checkBoundaryTables(t, halfWidthMaxN)
+}
+
+// TestBatchBoundaryFullWidthFallback drives the first size past the
+// packed cutoff, n = 65536, through the uint64 fallback engine.
+func TestBatchBoundaryFullWidthFallback(t *testing.T) {
+	checkBoundaryTables(t, halfWidthMaxN+1)
+}
+
+// TestBatchHalfWidthOverdriveChecked pins the no-silent-truncation
+// contract: a half-width builder handed a graph past 65535 vertices
+// must panic rather than truncate vertex ids to 16 bits.
+func TestBatchHalfWidthOverdriveChecked(t *testing.T) {
+	b := NewBatchBuilder(64) // selects the uint32-packed engine
+	big := gen.Star(halfWidthMaxN + 1)
+	next := [][]int32{make([]int32, big.N())}
+	dist := [][]int32{make([]int32, big.N())}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("half-width engine accepted a graph past 65535 vertices without panicking")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "half-width") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	b.buildGroup(big, big, []int32{0}, next, dist)
+}

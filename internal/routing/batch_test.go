@@ -9,6 +9,7 @@ import (
 	"remspan/internal/geom"
 	"remspan/internal/graph"
 	"remspan/internal/spanner"
+	"remspan/internal/testutil"
 )
 
 // routingFamilies returns the generator families the forwarding plane
@@ -142,12 +143,9 @@ func TestBatchBuilderZeroAlloc(t *testing.T) {
 	b := NewBatchBuilder(n)
 	tables := NewTables(n)
 	b.BuildInto(cg, ch, tables, order) // warm
-	allocs := testing.AllocsPerRun(5, func() {
+	testutil.PinAllocs(t, "warm batched build", 5, func() {
 		b.BuildInto(cg, ch, tables, order)
 	})
-	if allocs != 0 {
-		t.Fatalf("warm batched build allocates %v times per run", allocs)
-	}
 }
 
 // FuzzTableEquivalence drives random graph/spanner shapes through both

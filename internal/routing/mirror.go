@@ -56,6 +56,7 @@ func edgeKey(u, v int32) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
+//remspan:refinc
 func (hm *SpannerMirror) inc(u, v int32) {
 	k := edgeKey(u, v)
 	c := hm.cnt[k]
@@ -68,6 +69,7 @@ func (hm *SpannerMirror) inc(u, v int32) {
 	}
 }
 
+//remspan:refdec
 func (hm *SpannerMirror) dec(u, v int32) {
 	k := edgeKey(u, v)
 	if c := hm.cnt[k]; c > 1 {

@@ -6,6 +6,7 @@ import (
 
 	"remspan/internal/graph"
 	"remspan/internal/spanner"
+	"remspan/internal/testutil"
 )
 
 // spannerBuilders returns the four production spanner constructions at
@@ -120,13 +121,10 @@ func TestGreedyRouteZeroAlloc(t *testing.T) {
 	cg, ch := graph.NewCSR(g), graph.NewCSR(h)
 	rs := NewRouteScratch(g.N())
 	rs.GreedyRoute(cg, ch, 0, g.N()-1) // warm
-	allocs := testing.AllocsPerRun(20, func() {
+	testutil.PinAllocs(t, "warm GreedyRoute", 20, func() {
 		rs.GreedyRoute(cg, ch, 0, g.N()-1)
 		rs.GreedyRoute(cg, ch, g.N()/2, 1)
 	})
-	if allocs != 0 {
-		t.Fatalf("warm GreedyRoute allocates %v times per run", allocs)
-	}
 }
 
 // FuzzGreedyRouteEquivalence drives random family/spanner shapes

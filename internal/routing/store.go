@@ -46,7 +46,7 @@ type Store struct {
 	bb *BatchBuilder
 	h  *SpannerMirror
 
-	cur atomic.Pointer[Epoch]
+	cur atomic.Pointer[Epoch] //remspan:atomic
 
 	mu sync.Mutex // serializes writers (ApplyBatch, RebuildAll)
 
@@ -55,8 +55,8 @@ type Store struct {
 
 	// Reader-reported stale owners, drained into the next batch's
 	// rebuild set.
-	stale      []atomic.Uint32
-	staleDirty atomic.Bool
+	stale      []atomic.Uint32 //remspan:atomic
+	staleDirty atomic.Bool     //remspan:atomic
 
 	// Retirement queue and buffer pools (writer-owned, under mu).
 	retired  []retiredEpoch
@@ -77,7 +77,7 @@ type Store struct {
 // restamping a recycled Epoch struct — the reader then announces
 // either value and re-checks the current pointer, both outcomes safe.
 type Epoch struct {
-	seq    atomic.Uint64
+	seq    atomic.Uint64 //remspan:atomic
 	tables []Table
 }
 
@@ -166,6 +166,8 @@ func (st *Store) Epoch() *Epoch { return st.cur.Load() }
 // owners — are rebuilt on the word-parallel builder and published as a
 // new epoch, off the readers' hot path. Returns the number of changes
 // that had an effect.
+//
+//remspan:hotpath
 func (st *Store) ApplyBatch(changes []dynamic.Change) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -240,6 +242,8 @@ func (st *Store) drainStale() {
 
 // publish rebuilds the given owners' rows (sorted, unique) into a new
 // epoch and swaps it in.
+//
+//remspan:hotpath
 func (st *Store) publish(owners []int32) {
 	cur := st.cur.Load()
 	st.reclaim()
@@ -343,7 +347,7 @@ func (st *Store) takeRows() [][]int32 {
 // share the reader's path buffer — valid until its next call.
 type Reader struct {
 	st     *Store
-	seq    atomic.Uint64
+	seq    atomic.Uint64 //remspan:atomic
 	path   []int32
 	closed bool     // guarded by st.readersMu
 	_      [40]byte // keep hot writer scans off this reader's line

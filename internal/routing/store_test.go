@@ -8,6 +8,7 @@ import (
 
 	"remspan/internal/dynamic"
 	"remspan/internal/graph"
+	"remspan/internal/testutil"
 )
 
 // storeFixture builds a maintainer+store over a connected random
@@ -284,12 +285,9 @@ func TestStoreApplyBatchZeroAlloc(t *testing.T) {
 	for i := 0; i < 6; i++ { // warm pools, delta rows, map buckets
 		st.ApplyBatch(batch)
 	}
-	allocs := testing.AllocsPerRun(10, func() {
+	testutil.PinAllocs(t, "warm ApplyBatch", 10, func() {
 		st.ApplyBatch(batch)
 	})
-	if allocs != 0 {
-		t.Fatalf("warm ApplyBatch allocates %v times per run", allocs)
-	}
 }
 
 // TestStoreReclamationUnderReaderStall pins safety over throughput: a

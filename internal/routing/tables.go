@@ -234,6 +234,8 @@ func TableRouteInto(tables []Table, g graph.View, s, t int, path []int32) Route 
 // allocations once the buffer is warm. A nil g skips the physical
 // link validation (the Store's epoch-internal walk); failures return
 // no path.
+//
+//remspan:hotpath
 func tableRouteInto(tables []Table, g graph.View, s, t int, path []int32) Route {
 	path = append(path[:0], int32(s))
 	if s == t {

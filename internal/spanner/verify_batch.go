@@ -70,11 +70,14 @@ import (
 // sources[i]): each source is seeded at distance 0, its G-neighbors at
 // distance 1, and the batch expands over H alone. Results are read
 // through s.Visited/Row/Dist until the next batch.
+//
+//remspan:hotpath
 func SweepViewBatch(s *graph.BitScratch, cg, ch *graph.CSR, sources []int32) {
 	seedViewBatch(s, cg, sources)
 	s.Sweep(ch, 2)
 }
 
+//remspan:hotpath
 func seedViewBatch(s *graph.BitScratch, cg *graph.CSR, sources []int32) {
 	s.Begin()
 	for i, uu := range sources {

@@ -7,6 +7,7 @@ import (
 	"remspan/internal/gen"
 	"remspan/internal/geom"
 	"remspan/internal/graph"
+	"remspan/internal/testutil"
 )
 
 // verifyFamilies returns the generator families the batched verifier
@@ -251,7 +252,5 @@ func TestViewJudgeZeroAlloc(t *testing.T) {
 		}
 	}
 	run() // warm-up
-	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
-		t.Fatalf("warm judge allocates %.1f/op, want 0", allocs)
-	}
+	testutil.PinAllocs(t, "warm judge", 10, run)
 }

@@ -1,0 +1,21 @@
+// Package testutil holds the small helpers shared by the repo's test
+// suites, so cross-package invariants are asserted one way everywhere.
+package testutil
+
+import "testing"
+
+// PinAllocs pins fn allocation-free: the steady-state zero-alloc
+// contract every warm scratch path in this repo advertises. It fails
+// the test when fn averages any heap allocation over runs; what names
+// the pinned operation in the failure message. Callers are expected to
+// warm buffers to their high-water mark before pinning.
+//
+// The static half of the same contract is remspanlint's hotalloc
+// analyzer; this dynamic pin catches what escape analysis does at run
+// time on real graph shapes.
+func PinAllocs(t *testing.T, what string, runs int, fn func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(runs, fn); allocs > 0 {
+		t.Fatalf("%s allocates %.1f times per run, want 0", what, allocs)
+	}
+}
