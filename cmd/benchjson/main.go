@@ -81,6 +81,30 @@ import (
 // auto-scaling testing.Benchmark loop.
 var quickMode bool
 
+// cpuArms is the -cpu sweep: every suite repeats its cells once per
+// listed GOMAXPROCS value, stamping each record with the arm it ran
+// under (the core-scaling ablation of the shard-parallel engine).
+// Empty means one arm at the current GOMAXPROCS.
+var cpuArms []int
+
+// cpuList resolves the active sweep.
+func cpuList() []int {
+	if len(cpuArms) == 0 {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	return cpuArms
+}
+
+// forEachCPU runs body once per -cpu arm with GOMAXPROCS pinned to the
+// arm's value for the duration (restored after).
+func forEachCPU(body func(cpu int)) {
+	for _, c := range cpuList() {
+		prev := runtime.GOMAXPROCS(c)
+		body(c)
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
 // benchRes is the subset of testing.BenchmarkResult the reports use,
 // producible by either measurement mode.
 type benchRes struct {
@@ -131,6 +155,8 @@ func mustSpanner(s *remspan.Spanner, err error) *remspan.Spanner {
 
 type constructRecord struct {
 	Name        string  `json:"name"`
+	N           int     `json:"n,omitempty"` // scale arms; the context n otherwise
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -145,8 +171,10 @@ type constructReport struct {
 		AvgDegree  float64 `json:"avg_degree"`
 		Seed       int64   `json:"seed"`
 		GraphEdges int     `json:"graph_edges"`
+		ScaleSizes []int   `json:"scale_sizes,omitempty"`
 		GoVersion  string  `json:"go_version"`
 		GOMAXPROCS int     `json:"gomaxprocs"`
+		CPUList    []int   `json:"cpu_list"`
 	} `json:"context"`
 	Benchmarks []constructRecord `json:"benchmarks"`
 }
@@ -154,6 +182,7 @@ type constructReport struct {
 type churnRecord struct {
 	Builder               string  `json:"builder"`
 	Radius                int     `json:"radius"`
+	GOMAXPROCS            int     `json:"gomaxprocs"`
 	N                     int     `json:"n"`
 	GraphEdges            int     `json:"graph_edges"`
 	Locality              string  `json:"locality"`
@@ -175,6 +204,7 @@ type churnReport struct {
 		BatchSize  int    `json:"batch_size"`
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
+		CPUList    []int  `json:"cpu_list"`
 	} `json:"context"`
 	Benchmarks []churnRecord `json:"benchmarks"`
 }
@@ -183,6 +213,7 @@ type verifyRecord struct {
 	Workload        string  `json:"workload"`
 	Op              string  `json:"op"`
 	Engine          string  `json:"engine"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
 	N               int     `json:"n"`
 	GraphEdges      int     `json:"graph_edges"`
 	SpannerEdges    int     `json:"spanner_edges"`
@@ -196,10 +227,12 @@ type verifyRecord struct {
 type verifyReport struct {
 	Context struct {
 		Sizes      []int  `json:"sizes"`
+		BigSizes   []int  `json:"big_sizes,omitempty"`
 		Degree     int    `json:"target_degree"`
 		Seed       int64  `json:"seed"`
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
+		CPUList    []int  `json:"cpu_list"`
 	} `json:"context"`
 	Benchmarks []verifyRecord `json:"benchmarks"`
 }
@@ -225,10 +258,14 @@ func main() {
 	routingLiveDeg := flag.Int("routing-live-deg", 8, "routing suite: target average UDG degree of the mobility fleet (the distsim live workload)")
 	routingOwnerCap := flag.Int("routing-owner-cap", 10000, "routing suite: max owners per table-construction cell (a full n-owner FIB is n² state, so 50k samples a ball-clustered subset)")
 	routingReplicas := flag.Int("routing-replicas", 4, "routing suite: read replicas in the replicated-tier cells")
+	scaleSizes := flag.String("construct-scale-sizes", "", "construct suite: extra constant-degree (8) UDG sizes for the kgreedy1 scale arms (e.g. 200000,1000000); empty disables")
+	vbigSizes := flag.String("verify-big-sizes", "", "verify suite: extra UDG sizes measured on the bit-parallel engine only (the scalar reference is quadratic and infeasible there); empty disables")
+	cpu := flag.String("cpu", "", "comma-separated GOMAXPROCS arms; every cell repeats once per arm with a per-record gomaxprocs stamp (empty: current GOMAXPROCS only)")
 	quick := flag.Bool("quick", false, "one timed iteration per cell instead of testing.Benchmark (smoke/CI mode)")
 	out := flag.String("out", "", "output path (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
 	quickMode = *quick
+	cpuArms = parseCPUs(*cpu)
 
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
@@ -236,11 +273,11 @@ func main() {
 	var data []byte
 	switch *suite {
 	case "construct":
-		data = runConstruct(*n, *side, *seed)
+		data = runConstruct(*n, *side, *seed, parseSizesOpt(*scaleSizes))
 	case "churn":
 		data = runChurn(parseSizes(*sizes), *churnDeg, *seed, *batch)
 	case "verify":
-		data = runVerify(parseSizes(*vsizes), *verifyDeg, *seed)
+		data = runVerify(parseSizes(*vsizes), parseSizesOpt(*vbigSizes), *verifyDeg, *seed)
 	case "distsim":
 		data = runDistsim(parseSizes(*dsizes), *distsimDeg, *seed, *distsimTicks)
 	case "routing":
@@ -273,6 +310,30 @@ func parseSizes(s string) []int {
 	return out
 }
 
+// parseSizesOpt is parseSizes with "" meaning none.
+func parseSizesOpt(s string) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	return parseSizes(s)
+}
+
+func parseCPUs(s string) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 || v > 1024 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -cpu value %q\n", f)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func marshal(rep any) []byte {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -285,8 +346,10 @@ func marshal(rep any) []byte {
 // runConstruct benchmarks the four constructions on the historical
 // dense workload: n points in a fixed side×side square (NOT a constant
 // average degree — density, and with it mean degree, grows with n; the
-// actual mean degree is recorded in the context).
-func runConstruct(n int, side float64, seed int64) []byte {
+// actual mean degree is recorded in the context). scaleSizes adds
+// kgreedy1 arms on constant-degree-8 UDGs at production sizes — the
+// n ≥ 1M graph-layer scaling cells.
+func runConstruct(n int, side float64, seed int64, scaleSizes []int) []byte {
 	g := remspan.RandomUDG(n, side, seed)
 
 	var rep constructReport
@@ -295,8 +358,18 @@ func runConstruct(n int, side float64, seed int64) []byte {
 	rep.Context.AvgDegree = 2 * float64(g.M()) / float64(g.N())
 	rep.Context.Seed = seed
 	rep.Context.GraphEdges = g.M()
+	rep.Context.ScaleSizes = scaleSizes
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Context.CPUList = cpuList()
+
+	const scaleDeg = 8
+	scaleGraphs := make([]*graph.Graph, len(scaleSizes))
+	for i, sn := range scaleSizes {
+		sside := math.Sqrt(math.Pi * float64(sn) / float64(scaleDeg))
+		gg := remspan.RandomUDG(sn, sside, seed)
+		scaleGraphs[i] = graph.FromEdges(gg.N(), gg.Edges())
+	}
 
 	cases := []struct {
 		name string
@@ -307,20 +380,39 @@ func runConstruct(n int, side float64, seed int64) []byte {
 		{"ConstructTwoConnecting", func() int { return remspan.TwoConnecting(g).Edges() }},
 		{"ConstructLowStretch", func() int { return mustSpanner(remspan.LowStretch(g, 0.5)).Edges() }},
 	}
-	for _, c := range cases {
-		edges := 0
-		res := bench(func() { edges = c.run() })
-		rep.Benchmarks = append(rep.Benchmarks, constructRecord{
-			Name:        c.name,
-			NsPerOp:     res.NsPerOp,
-			AllocsPerOp: res.AllocsPerOp,
-			BytesPerOp:  res.BytesPerOp,
-			Edges:       edges,
-			Iterations:  res.N,
-		})
-		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d allocs/op %6d edges\n",
-			c.name, res.NsPerOp, res.AllocsPerOp, edges)
-	}
+	forEachCPU(func(cpu int) {
+		for _, c := range cases {
+			edges := 0
+			res := bench(func() { edges = c.run() })
+			rep.Benchmarks = append(rep.Benchmarks, constructRecord{
+				Name:        c.name,
+				GOMAXPROCS:  cpu,
+				NsPerOp:     res.NsPerOp,
+				AllocsPerOp: res.AllocsPerOp,
+				BytesPerOp:  res.BytesPerOp,
+				Edges:       edges,
+				Iterations:  res.N,
+			})
+			fmt.Fprintf(os.Stderr, "%-24s cpu=%-3d %12.0f ns/op %8d allocs/op %6d edges\n",
+				c.name, cpu, res.NsPerOp, res.AllocsPerOp, edges)
+		}
+		for i, sg := range scaleGraphs {
+			edges := 0
+			res := bench(func() { edges = spanner.Exact(sg).H.Len() })
+			rep.Benchmarks = append(rep.Benchmarks, constructRecord{
+				Name:        "ConstructExactScale",
+				N:           scaleSizes[i],
+				GOMAXPROCS:  cpu,
+				NsPerOp:     res.NsPerOp,
+				AllocsPerOp: res.AllocsPerOp,
+				BytesPerOp:  res.BytesPerOp,
+				Edges:       edges,
+				Iterations:  res.N,
+			})
+			fmt.Fprintf(os.Stderr, "%-24s cpu=%-3d n=%-8d %12.0f ns/op %6d edges\n",
+				"ConstructExactScale", cpu, scaleSizes[i], res.NsPerOp, edges)
+		}
+	})
 	return marshal(&rep)
 }
 
@@ -376,6 +468,19 @@ func candidatePairs(g *graph.Graph, localized bool, rng *rand.Rand) [][2]int {
 	return out
 }
 
+// churnBuilders gates the builder set by size: past 100k vertices the
+// radius-2/3 families' initial full builds dominate the run (their
+// balls are 1–2 hops larger), and the radius-1 production builder
+// already trends the locality dividend, so the scale cells measure it
+// alone.
+func churnBuilders(n int) []dynamic.BuilderSpec {
+	specs := dynamic.Builders()
+	if n > 100000 {
+		return specs[:1] // kgreedy1
+	}
+	return specs
+}
+
 func runChurn(sizes []int, deg int, seed int64, batchSize int) []byte {
 	var rep churnReport
 	rep.Context.Sizes = sizes
@@ -384,6 +489,7 @@ func runChurn(sizes []int, deg int, seed int64, batchSize int) []byte {
 	rep.Context.BatchSize = batchSize
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Context.CPUList = cpuList()
 
 	for _, n := range sizes {
 		// Side grows with √n so the average degree stays ≈ deg at every
@@ -396,24 +502,27 @@ func runChurn(sizes []int, deg int, seed int64, batchSize int) []byte {
 		side := math.Sqrt(math.Pi * float64(n) / float64(deg))
 		gg := remspan.RandomUDG(n, side, seed)
 		g := graph.FromEdges(gg.N(), gg.Edges())
-		for _, bb := range dynamic.Builders() {
-			for _, locality := range []string{"localized", "scattered"} {
-				pairs := candidatePairs(g, locality == "localized", rand.New(rand.NewSource(seed+7)))
-				for _, mode := range []string{"single", "batch", "snapshot"} {
-					rec := measureChurn(g, bb.Build, bb.Radius, pairs, mode, batchSize)
-					rec.Builder = bb.Name
-					rec.Radius = bb.Radius
-					rec.N = g.N()
-					rec.GraphEdges = g.M()
-					rec.Locality = locality
-					rep.Benchmarks = append(rep.Benchmarks, rec)
-					fmt.Fprintf(os.Stderr,
-						"churn %-8s n=%-6d %-9s %-8s %10.0f changes/sec %8.1f allocs/change %7.2f trees/change\n",
-						bb.Name, g.N(), locality, mode, rec.ChangesPerSec,
-						rec.AllocsPerChange, rec.TreesRebuiltPerChange)
+		forEachCPU(func(cpu int) {
+			for _, bb := range churnBuilders(n) {
+				for _, locality := range []string{"localized", "scattered"} {
+					pairs := candidatePairs(g, locality == "localized", rand.New(rand.NewSource(seed+7)))
+					for _, mode := range []string{"single", "batch", "snapshot"} {
+						rec := measureChurn(g, bb.Build, bb.Radius, pairs, mode, batchSize)
+						rec.Builder = bb.Name
+						rec.Radius = bb.Radius
+						rec.GOMAXPROCS = cpu
+						rec.N = g.N()
+						rec.GraphEdges = g.M()
+						rec.Locality = locality
+						rep.Benchmarks = append(rep.Benchmarks, rec)
+						fmt.Fprintf(os.Stderr,
+							"churn %-8s n=%-6d cpu=%-3d %-9s %-8s %10.0f changes/sec %8.1f allocs/change %7.2f trees/change\n",
+							bb.Name, g.N(), cpu, locality, mode, rec.ChangesPerSec,
+							rec.AllocsPerChange, rec.TreesRebuiltPerChange)
+					}
 				}
 			}
-		}
+		})
 	}
 	return marshal(&rep)
 }
@@ -499,13 +608,15 @@ func measureChurn(g *graph.Graph, build dynamic.TreeBuilder, radius int, pairs [
 // exact remote-spanner is checked, profiled and oracle-validated by
 // the scalar reference engine and by the word-parallel 64-source
 // bit-packed engine.
-func runVerify(sizes []int, deg int, seed int64) []byte {
+func runVerify(sizes, bigSizes []int, deg int, seed int64) []byte {
 	var rep verifyReport
 	rep.Context.Sizes = sizes
+	rep.Context.BigSizes = bigSizes
 	rep.Context.Degree = deg
 	rep.Context.Seed = seed
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Context.CPUList = cpuList()
 
 	for _, n := range sizes {
 		workloads := []struct {
@@ -523,13 +634,22 @@ func runVerify(sizes []int, deg int, seed int64) []byte {
 			}()},
 		}
 		for _, wl := range workloads {
-			runVerifyWorkload(&rep, wl.name, wl.g)
+			forEachCPU(func(cpu int) { runVerifyWorkload(&rep, wl.name, wl.g, cpu, false) })
 		}
+	}
+	// Big arms: all-pairs work is quadratic, so past the scalar
+	// reference's reach only the word-parallel engine is measured (no
+	// speedup column — there is nothing tractable to compare against).
+	for _, n := range bigSizes {
+		side := math.Sqrt(math.Pi * float64(n) / float64(deg))
+		gg := remspan.RandomUDG(n, side, seed)
+		g := graph.FromEdges(gg.N(), gg.Edges())
+		forEachCPU(func(cpu int) { runVerifyWorkload(&rep, "udg", g, cpu, true) })
 	}
 	return marshal(&rep)
 }
 
-func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph) {
+func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph, cpu int, bitOnly bool) {
 	h := spanner.Exact(g).Graph()
 	st := spanner.NewStretch(1, 0)
 	o := oracle.New(g, h, st)
@@ -558,9 +678,12 @@ func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph) {
 	}
 	scalarNs := map[string]float64{}
 	for _, a := range arms {
+		if bitOnly && a.engine == "scalar" {
+			continue
+		}
 		res := bench(a.run)
 		rec := verifyRecord{
-			Workload: workload, Op: a.op, Engine: a.engine,
+			Workload: workload, Op: a.op, Engine: a.engine, GOMAXPROCS: cpu,
 			N: g.N(), GraphEdges: g.M(), SpannerEdges: h.M(),
 			NsPerOp:     res.NsPerOp,
 			AllocsPerOp: res.AllocsPerOp,
@@ -573,8 +696,8 @@ func runVerifyWorkload(rep *verifyReport, workload string, g *graph.Graph) {
 			rec.SpeedupVsScalar = s / rec.NsPerOp
 		}
 		rep.Benchmarks = append(rep.Benchmarks, rec)
-		fmt.Fprintf(os.Stderr, "verify %-5s %-8s n=%-6d %-12s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
-			workload, a.op, g.N(), a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
+		fmt.Fprintf(os.Stderr, "verify %-5s %-8s n=%-6d cpu=%-3d %-12s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
+			workload, a.op, g.N(), cpu, a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
 	}
 }
 
@@ -584,6 +707,7 @@ type distsimStaticRecord struct {
 	Mode               string  `json:"mode"` // "static"
 	Engine             string  `json:"engine"`
 	Builder            string  `json:"builder"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
 	N                  int     `json:"n"`
 	GraphEdges         int     `json:"graph_edges"`
 	SpannerEdges       int     `json:"spanner_edges"`
@@ -601,6 +725,7 @@ type distsimStaticRecord struct {
 type distsimLiveRecord struct {
 	Mode              string  `json:"mode"` // "live"
 	Builder           string  `json:"builder"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
 	N                 int     `json:"n"`
 	Ticks             int     `json:"ticks"`
 	ColdStartNs       float64 `json:"cold_start_ns"`
@@ -623,6 +748,7 @@ type distsimReport struct {
 		MaxSpeed   float64 `json:"live_max_speed"`
 		GoVersion  string  `json:"go_version"`
 		GOMAXPROCS int     `json:"gomaxprocs"`
+		CPUList    []int   `json:"cpu_list"`
 	} `json:"context"`
 	Static []distsimStaticRecord `json:"static"`
 	Live   []distsimLiveRecord   `json:"live"`
@@ -663,6 +789,7 @@ func runDistsim(sizes []int, deg int, seed int64, ticks int) []byte {
 	rep.Context.MaxSpeed = maxSpeed
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Context.CPUList = cpuList()
 
 	algos := map[string]distsim.TreeAlgo{
 		"kgreedy1": func(local *graph.Graph, u int) *graph.Tree { return domtree.KGreedy(local, u, 1) },
@@ -676,97 +803,99 @@ func runDistsim(sizes []int, deg int, seed int64, ticks int) []byte {
 		g := graph.FromEdges(gg.N(), gg.Edges())
 		_, fullWords := distsim.FullLinkState(g)
 
-		for _, bb := range distsimBuilders(n) {
-			var res *distsim.Result
-			engRes := bench(func() { res = distsim.RunRemSpan(g, bb.Radius, distsim.TreeBuilder(bb.Build)) })
-			rec := distsimStaticRecord{
-				Mode: "static", Engine: "engine", Builder: bb.Name,
-				N: g.N(), GraphEdges: g.M(), SpannerEdges: res.H.Len(),
-				Rounds: res.Rounds, Messages: res.Messages, Words: res.Words,
-				FullLSWords: fullWords,
-				NsPerOp:     engRes.NsPerOp, AllocsPerOp: engRes.AllocsPerOp,
-				BytesPerOp: engRes.BytesPerOp, Iterations: engRes.N,
-			}
-			fmt.Fprintf(os.Stderr, "distsim static %-8s n=%-6d engine    %14.0f ns/op %10d words\n",
-				bb.Name, g.N(), engRes.NsPerOp, res.Words)
-
-			// The reference is measured only at sizes where its quadratic
-			// local-view cost stays tolerable.
-			if n <= 10000 {
-				var ref *distsim.Result
-				refRes := bench(func() { ref = distsim.RunRemSpanReference(g, bb.Radius, algos[bb.Name]) })
-				rep.Static = append(rep.Static, rec)
-				refRec := distsimStaticRecord{
-					Mode: "static", Engine: "reference", Builder: bb.Name,
-					N: g.N(), GraphEdges: g.M(), SpannerEdges: ref.H.Len(),
-					Rounds: ref.Rounds, Messages: ref.Messages, Words: ref.Words,
+		forEachCPU(func(cpu int) {
+			for _, bb := range distsimBuilders(n) {
+				var res *distsim.Result
+				engRes := bench(func() { res = distsim.RunRemSpan(g, bb.Radius, distsim.TreeBuilder(bb.Build)) })
+				rec := distsimStaticRecord{
+					Mode: "static", Engine: "engine", Builder: bb.Name, GOMAXPROCS: cpu,
+					N: g.N(), GraphEdges: g.M(), SpannerEdges: res.H.Len(),
+					Rounds: res.Rounds, Messages: res.Messages, Words: res.Words,
 					FullLSWords: fullWords,
-					NsPerOp:     refRes.NsPerOp, AllocsPerOp: refRes.AllocsPerOp,
-					BytesPerOp: refRes.BytesPerOp, Iterations: refRes.N,
+					NsPerOp:     engRes.NsPerOp, AllocsPerOp: engRes.AllocsPerOp,
+					BytesPerOp: engRes.BytesPerOp, Iterations: engRes.N,
 				}
-				rep.Static = append(rep.Static, refRec)
-				// Stamp the speedup on the engine row just appended.
-				rep.Static[len(rep.Static)-2].SpeedupVsReference = refRes.NsPerOp / engRes.NsPerOp
-				if res.Words != ref.Words || res.Messages != ref.Messages {
-					fmt.Fprintln(os.Stderr, "benchjson: engine/reference traffic mismatch")
-					os.Exit(1)
+				fmt.Fprintf(os.Stderr, "distsim static %-8s n=%-6d cpu=%-3d engine    %14.0f ns/op %10d words\n",
+					bb.Name, g.N(), cpu, engRes.NsPerOp, res.Words)
+
+				// The reference is measured only at sizes where its quadratic
+				// local-view cost stays tolerable.
+				if n <= 10000 {
+					var ref *distsim.Result
+					refRes := bench(func() { ref = distsim.RunRemSpanReference(g, bb.Radius, algos[bb.Name]) })
+					rep.Static = append(rep.Static, rec)
+					refRec := distsimStaticRecord{
+						Mode: "static", Engine: "reference", Builder: bb.Name, GOMAXPROCS: cpu,
+						N: g.N(), GraphEdges: g.M(), SpannerEdges: ref.H.Len(),
+						Rounds: ref.Rounds, Messages: ref.Messages, Words: ref.Words,
+						FullLSWords: fullWords,
+						NsPerOp:     refRes.NsPerOp, AllocsPerOp: refRes.AllocsPerOp,
+						BytesPerOp: refRes.BytesPerOp, Iterations: refRes.N,
+					}
+					rep.Static = append(rep.Static, refRec)
+					// Stamp the speedup on the engine row just appended.
+					rep.Static[len(rep.Static)-2].SpeedupVsReference = refRes.NsPerOp / engRes.NsPerOp
+					if res.Words != ref.Words || res.Messages != ref.Messages {
+						fmt.Fprintln(os.Stderr, "benchjson: engine/reference traffic mismatch")
+						os.Exit(1)
+					}
+					fmt.Fprintf(os.Stderr, "distsim static %-8s n=%-6d cpu=%-3d reference %14.0f ns/op speedup %5.1f×\n",
+						bb.Name, g.N(), cpu, refRes.NsPerOp, refRes.NsPerOp/engRes.NsPerOp)
+				} else {
+					rep.Static = append(rep.Static, rec)
 				}
-				fmt.Fprintf(os.Stderr, "distsim static %-8s n=%-6d reference %14.0f ns/op speedup %5.1f×\n",
-					bb.Name, g.N(), refRes.NsPerOp, refRes.NsPerOp/engRes.NsPerOp)
-			} else {
-				rep.Static = append(rep.Static, rec)
 			}
-		}
 
-		// Live mobility: drive the tracker/engine primitives directly so
-		// cold start and tick time are measured separately.
-		liveTicks := ticks
-		bb := dynamic.Builders()[0] // kgreedy1
-		rng := rand.New(rand.NewSource(seed))
-		w := mobility.NewWaypoint(n, side, minSpeed, maxSpeed, rng)
-		tr := mobility.NewTracker(w, 1.0)
-		start := time.Now()
-		e := distsim.NewEngine(tr.Graph(), bb.Radius, distsim.TreeBuilder(bb.Build))
-		e.Run()
-		cold := time.Since(start)
+			// Live mobility: drive the tracker/engine primitives directly so
+			// cold start and tick time are measured separately.
+			liveTicks := ticks
+			bb := dynamic.Builders()[0] // kgreedy1
+			rng := rand.New(rand.NewSource(seed))
+			w := mobility.NewWaypoint(n, side, minSpeed, maxSpeed, rng)
+			tr := mobility.NewTracker(w, 1.0)
+			start := time.Now()
+			e := distsim.NewEngine(tr.Graph(), bb.Radius, distsim.TreeBuilder(bb.Build))
+			e.Run()
+			cold := time.Since(start)
 
-		var changes, dirty, refloods, words, fullW int64
-		changesBuf := make([]dynamic.Change, 0, 1024)
-		start = time.Now()
-		for tick := 0; tick < liveTicks; tick++ {
-			added, removed := tr.Tick()
-			changesBuf = changesBuf[:0]
-			for _, p := range removed {
-				changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.RemoveEdge, U: int(p[0]), V: int(p[1])})
+			var changes, dirty, refloods, words, fullW int64
+			changesBuf := make([]dynamic.Change, 0, 1024)
+			start = time.Now()
+			for tick := 0; tick < liveTicks; tick++ {
+				added, removed := tr.Tick()
+				changesBuf = changesBuf[:0]
+				for _, p := range removed {
+					changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.RemoveEdge, U: int(p[0]), V: int(p[1])})
+				}
+				for _, p := range added {
+					changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.AddEdge, U: int(p[0]), V: int(p[1])})
+				}
+				st := e.Reflood(changesBuf)
+				changes += int64(st.Applied)
+				dirty += int64(st.DirtyRoots)
+				refloods += int64(st.Refloods)
+				words += st.Words
+				fullW += st.FullWords
 			}
-			for _, p := range added {
-				changesBuf = append(changesBuf, dynamic.Change{Kind: dynamic.AddEdge, U: int(p[0]), V: int(p[1])})
+			tickNs := float64(time.Since(start).Nanoseconds()) / float64(liveTicks)
+			saving := 0.0
+			if words > 0 {
+				saving = float64(fullW) / float64(words)
 			}
-			st := e.Reflood(changesBuf)
-			changes += int64(st.Applied)
-			dirty += int64(st.DirtyRoots)
-			refloods += int64(st.Refloods)
-			words += st.Words
-			fullW += st.FullWords
-		}
-		tickNs := float64(time.Since(start).Nanoseconds()) / float64(liveTicks)
-		saving := 0.0
-		if words > 0 {
-			saving = float64(fullW) / float64(words)
-		}
-		rep.Live = append(rep.Live, distsimLiveRecord{
-			Mode: "live", Builder: bb.Name, N: n, Ticks: liveTicks,
-			ColdStartNs:       float64(cold.Nanoseconds()),
-			NsPerTick:         tickNs,
-			ChangesPerTick:    float64(changes) / float64(liveTicks),
-			DirtyRootsPerTick: float64(dirty) / float64(liveTicks),
-			RefloodsPerTick:   float64(refloods) / float64(liveTicks),
-			WordsPerTick:      float64(words) / float64(liveTicks),
-			FullWordsPerTick:  float64(fullW) / float64(liveTicks),
-			WordSaving:        saving,
+			rep.Live = append(rep.Live, distsimLiveRecord{
+				Mode: "live", Builder: bb.Name, N: n, Ticks: liveTicks, GOMAXPROCS: cpu,
+				ColdStartNs:       float64(cold.Nanoseconds()),
+				NsPerTick:         tickNs,
+				ChangesPerTick:    float64(changes) / float64(liveTicks),
+				DirtyRootsPerTick: float64(dirty) / float64(liveTicks),
+				RefloodsPerTick:   float64(refloods) / float64(liveTicks),
+				WordsPerTick:      float64(words) / float64(liveTicks),
+				FullWordsPerTick:  float64(fullW) / float64(liveTicks),
+				WordSaving:        saving,
+			})
+			fmt.Fprintf(os.Stderr, "distsim live   %-8s n=%-6d cpu=%-3d %10.0f ns/tick %8.1f changes/tick saving %6.1f×\n",
+				bb.Name, n, cpu, tickNs, float64(changes)/float64(liveTicks), saving)
 		})
-		fmt.Fprintf(os.Stderr, "distsim live   %-8s n=%-6d %10.0f ns/tick %8.1f changes/tick saving %6.1f×\n",
-			bb.Name, n, tickNs, float64(changes)/float64(liveTicks), saving)
 	}
 	return marshal(&rep)
 }
@@ -776,6 +905,7 @@ func runDistsim(sizes []int, deg int, seed int64, ticks int) []byte {
 type routingBuildRecord struct {
 	Workload        string  `json:"workload"`
 	Engine          string  `json:"engine"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
 	N               int     `json:"n"`
 	Owners          int     `json:"owners"`
 	GraphEdges      int     `json:"graph_edges"`
@@ -791,6 +921,7 @@ type routingBuildRecord struct {
 type routingLiveRecord struct {
 	Mode               string  `json:"mode"` // "live"
 	Builder            string  `json:"builder"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
 	N                  int     `json:"n"`
 	Ticks              int     `json:"ticks"`
 	ColdStartNs        float64 `json:"cold_start_ns"`
@@ -810,6 +941,7 @@ type routingLiveRecord struct {
 // transport faults.
 type routingReplicatedRecord struct {
 	Mode          string  `json:"mode"` // "replicated"
+	GOMAXPROCS    int     `json:"gomaxprocs"`
 	N             int     `json:"n"`
 	Replicas      int     `json:"replicas"`
 	Ticks         int     `json:"ticks"`
@@ -847,6 +979,7 @@ type routingReport struct {
 		Replicas   int    `json:"replicas"`
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
+		CPUList    []int  `json:"cpu_list"`
 	} `json:"context"`
 	Build      []routingBuildRecord      `json:"build"`
 	Live       []routingLiveRecord       `json:"live"`
@@ -872,6 +1005,7 @@ func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, que
 	rep.Context.Replicas = nrep
 	rep.Context.GoVersion = runtime.Version()
 	rep.Context.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Context.CPUList = cpuList()
 
 	for _, n := range sizes {
 		workloads := []struct {
@@ -890,7 +1024,11 @@ func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, que
 		}
 	}
 	for _, n := range liveSizes {
-		rep.Live = append(rep.Live, runRoutingLive(n, liveDeg, seed, ticks, queries))
+		forEachCPU(func(cpu int) {
+			rec := runRoutingLive(n, liveDeg, seed, ticks, queries)
+			rec.GOMAXPROCS = cpu
+			rep.Live = append(rep.Live, rec)
+		})
 	}
 	// Replicated tier on the smallest live size: N replicas are N full
 	// table sets, so the cell is sized for memory, not for n-scaling
@@ -899,8 +1037,11 @@ func runRouting(sizes, liveSizes []int, deg, liveDeg int, seed int64, ticks, que
 	if len(liveSizes) > 0 {
 		n := liveSizes[0]
 		for _, faults := range []bool{false, true} {
-			rep.Replicated = append(rep.Replicated,
-				runRoutingReplicated(n, liveDeg, seed, ticks, queries, nrep, faults))
+			forEachCPU(func(cpu int) {
+				rec := runRoutingReplicated(n, liveDeg, seed, ticks, queries, nrep, faults)
+				rec.GOMAXPROCS = cpu
+				rep.Replicated = append(rep.Replicated, rec)
+			})
 		}
 	}
 	return marshal(&rep)
@@ -1037,8 +1178,20 @@ func runRoutingBuild(rep *routingReport, workload string, g *graph.Graph, ownerC
 	n := g.N()
 	order, _ := graph.BatchOrder(cg)
 	owners := order
-	if len(owners) > ownerCap {
-		owners = owners[:ownerCap]
+	// Each owner costs two n-entry int32 rows (8 bytes per slot); scale
+	// the cap down with n so the slabs stay ≈2 GB at the production
+	// sizes instead of letting owners×n grow quadratically.
+	effCap := ownerCap
+	if n > 0 {
+		if memCap := 250_000_000 / n; memCap < effCap {
+			effCap = memCap
+		}
+	}
+	if effCap < 1 {
+		effCap = 1
+	}
+	if len(owners) > effCap {
+		owners = owners[:effCap]
 	}
 	// Rows live in two contiguous slabs, the same layout
 	// routing.NewTables gives a full build (scattered per-owner rows
@@ -1068,24 +1221,26 @@ func runRoutingBuild(rep *routingReport, workload string, g *graph.Graph, ownerC
 		}},
 		{"batched", func() { bb.BuildInto(cg, ch, tables, owners) }},
 	}
-	scalarNs := 0.0
-	for _, a := range arms {
-		res := bench(a.run)
-		rec := routingBuildRecord{
-			Workload: workload, Engine: a.engine,
-			N: n, Owners: len(owners), GraphEdges: g.M(), SpannerEdges: h.M(),
-			NsPerOp: res.NsPerOp, NsPerOwner: res.NsPerOp / float64(len(owners)),
-			AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp, Iterations: res.N,
+	forEachCPU(func(cpu int) {
+		scalarNs := 0.0
+		for _, a := range arms {
+			res := bench(a.run)
+			rec := routingBuildRecord{
+				Workload: workload, Engine: a.engine, GOMAXPROCS: cpu,
+				N: n, Owners: len(owners), GraphEdges: g.M(), SpannerEdges: h.M(),
+				NsPerOp: res.NsPerOp, NsPerOwner: res.NsPerOp / float64(len(owners)),
+				AllocsPerOp: res.AllocsPerOp, BytesPerOp: res.BytesPerOp, Iterations: res.N,
+			}
+			if a.engine == "scalar" {
+				scalarNs = rec.NsPerOp
+			} else if scalarNs > 0 {
+				rec.SpeedupVsScalar = scalarNs / rec.NsPerOp
+			}
+			rep.Build = append(rep.Build, rec)
+			fmt.Fprintf(os.Stderr, "routing build %-5s n=%-6d owners=%-6d cpu=%-3d %-8s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
+				workload, n, len(owners), cpu, a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
 		}
-		if a.engine == "scalar" {
-			scalarNs = rec.NsPerOp
-		} else if scalarNs > 0 {
-			rec.SpeedupVsScalar = scalarNs / rec.NsPerOp
-		}
-		rep.Build = append(rep.Build, rec)
-		fmt.Fprintf(os.Stderr, "routing build %-5s n=%-6d owners=%-6d %-8s %14.0f ns/op %8d allocs/op speedup %5.1f\n",
-			workload, n, len(owners), a.engine, rec.NsPerOp, rec.AllocsPerOp, rec.SpeedupVsScalar)
-	}
+	})
 }
 
 // runRoutingLive drives the epoch-swapped store with the mobility

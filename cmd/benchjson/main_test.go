@@ -19,16 +19,85 @@ func runQuick(t *testing.T, f func() []byte) map[string]any {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("suite emitted invalid JSON: %v", err)
 	}
-	if _, ok := doc["context"]; !ok {
+	ctx, ok := doc["context"].(map[string]any)
+	if !ok {
 		t.Fatal("report lacks a context block")
+	}
+	cpus, ok := ctx["cpu_list"].([]any)
+	if !ok || len(cpus) == 0 {
+		t.Fatalf("context lacks the cpu_list arm record: %v", ctx)
 	}
 	return doc
 }
 
+// checkCPUStamps asserts every record in the named sections carries a
+// positive per-record gomaxprocs stamp (the -cpu sweep provenance).
+func checkCPUStamps(t *testing.T, doc map[string]any, sections ...string) {
+	t.Helper()
+	for _, sec := range sections {
+		recs, ok := doc[sec].([]any)
+		if !ok {
+			t.Fatalf("report lacks section %q", sec)
+		}
+		for _, rec := range recs {
+			row := rec.(map[string]any)
+			if v, _ := row["gomaxprocs"].(float64); v < 1 {
+				t.Fatalf("%s record lacks a gomaxprocs stamp: %v", sec, row)
+			}
+		}
+	}
+}
+
 func TestConstructSuiteSmoke(t *testing.T) {
-	doc := runQuick(t, func() []byte { return runConstruct(80, 3, 1) })
+	doc := runQuick(t, func() []byte { return runConstruct(80, 3, 1, nil) })
 	if got := len(doc["benchmarks"].([]any)); got != 4 {
 		t.Fatalf("construct suite emitted %d records, want 4", got)
+	}
+	checkCPUStamps(t, doc, "benchmarks")
+}
+
+func TestConstructScaleArmsSmoke(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runConstruct(80, 3, 1, []int{500}) })
+	// 4 dense cases + 1 scale size.
+	recs := doc["benchmarks"].([]any)
+	if len(recs) != 5 {
+		t.Fatalf("construct suite emitted %d records, want 5", len(recs))
+	}
+	var scale map[string]any
+	for _, rec := range recs {
+		row := rec.(map[string]any)
+		if row["name"] == "ConstructExactScale" {
+			scale = row
+		}
+	}
+	if scale == nil {
+		t.Fatal("no ConstructExactScale record emitted")
+	}
+	if scale["n"].(float64) != 500 || scale["edges"].(float64) <= 0 {
+		t.Fatalf("degenerate scale record: %v", scale)
+	}
+}
+
+func TestCPUSweepDoublesRecords(t *testing.T) {
+	cpuArms = []int{1, 2}
+	defer func() { cpuArms = nil }()
+	doc := runQuick(t, func() []byte { return runConstruct(80, 3, 1, nil) })
+	// Two GOMAXPROCS arms double the 4 dense records.
+	recs := doc["benchmarks"].([]any)
+	if len(recs) != 8 {
+		t.Fatalf("two-arm sweep emitted %d records, want 8", len(recs))
+	}
+	seen := map[float64]int{}
+	for _, rec := range recs {
+		seen[rec.(map[string]any)["gomaxprocs"].(float64)]++
+	}
+	if seen[1] != 4 || seen[2] != 4 {
+		t.Fatalf("arm stamps uneven across records: %v", seen)
+	}
+	ctx := doc["context"].(map[string]any)
+	cpus := ctx["cpu_list"].([]any)
+	if len(cpus) != 2 || cpus[0].(float64) != 1 || cpus[1].(float64) != 2 {
+		t.Fatalf("context cpu_list does not record the sweep: %v", cpus)
 	}
 }
 
@@ -38,13 +107,30 @@ func TestChurnSuiteSmoke(t *testing.T) {
 	if got := len(doc["benchmarks"].([]any)); got != 24 {
 		t.Fatalf("churn suite emitted %d records, want 24", got)
 	}
+	checkCPUStamps(t, doc, "benchmarks")
 }
 
 func TestVerifySuiteSmoke(t *testing.T) {
-	doc := runQuick(t, func() []byte { return runVerify([]int{200}, 24, 1) })
+	doc := runQuick(t, func() []byte { return runVerify([]int{200}, nil, 24, 1) })
 	// 2 workloads × 3 ops × 2 engines.
 	if got := len(doc["benchmarks"].([]any)); got != 12 {
 		t.Fatalf("verify suite emitted %d records, want 12", got)
+	}
+	checkCPUStamps(t, doc, "benchmarks")
+}
+
+func TestVerifyBigSizesBitparallelOnly(t *testing.T) {
+	doc := runQuick(t, func() []byte { return runVerify(nil, []int{200}, 24, 1) })
+	// 1 workload × 3 ops × bitparallel engine only.
+	recs := doc["benchmarks"].([]any)
+	if len(recs) != 3 {
+		t.Fatalf("verify big arm emitted %d records, want 3", len(recs))
+	}
+	for _, rec := range recs {
+		row := rec.(map[string]any)
+		if row["engine"] != "bitparallel" {
+			t.Fatalf("big arm ran a scalar reference: %v", row)
+		}
 	}
 }
 
@@ -62,6 +148,7 @@ func TestDistsimSuiteSmoke(t *testing.T) {
 	if row["word_saving_vs_full_ls"].(float64) <= 1 {
 		t.Fatalf("live run shows no saving vs full link-state: %v", row)
 	}
+	checkCPUStamps(t, doc, "static", "live")
 }
 
 func TestRoutingSuiteSmoke(t *testing.T) {
@@ -112,4 +199,5 @@ func TestRoutingSuiteSmoke(t *testing.T) {
 			t.Fatalf("faulty arm never recovered to lag 0: %v", row)
 		}
 	}
+	checkCPUStamps(t, doc, "build", "live", "replicated")
 }

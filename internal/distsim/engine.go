@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
 
 	"remspan/internal/domtree"
 	"remspan/internal/dynamic"
 	"remspan/internal/graph"
+	"remspan/internal/sched"
 )
 
 // TreeBuilder builds the dominating tree for a root on a graph.View —
@@ -102,6 +101,12 @@ type Engine struct {
 	// tick. Buffers reused across ticks.
 	pend, pendNext []int32
 	rootsBuf       []int32
+
+	// Shard-scheduler fan-out state.
+	pool       sched.Pool
+	job        func(w *engineWorker, i int) // per-run job the shard body reads
+	fanBody    func(w, lo, hi int)          // prebound shard body
+	forceWidth int                          // test hook: >0 overrides the worker count
 }
 
 // NewEngine returns an engine over a clone of g. radius is the
@@ -168,10 +173,29 @@ func workerCount(jobs int) int {
 	return w
 }
 
+// fanShard runs the per-run job over indices [lo, hi) on worker w's
+// pooled engineWorker. Jobs write per-index slots or worker-local
+// tallies, so the stealing schedule cannot affect results.
+//
+//remspan:hotpath
+func (e *Engine) fanShard(w, lo, hi int) {
+	wrk := e.workers[w]
+	for i := lo; i < hi; i++ {
+		e.job(wrk, i)
+	}
+}
+
 // fanOut runs job(worker, index) for every index in [0, jobs) across
-// the engine's worker pool, serially when the batch is small.
+// the engine's worker pool on the shard scheduler, serially when the
+// batch is small (the steady-state live-tick path — zero allocations,
+// no synchronization).
 func (e *Engine) fanOut(jobs int, job func(w *engineWorker, i int)) {
 	nw := workerCount(jobs)
+	if e.forceWidth > 0 && jobs > 0 {
+		if nw = e.forceWidth; nw > jobs {
+			nw = jobs
+		}
+	}
 	workers := e.ensureWorkers(nw)
 	if nw == 1 {
 		w := workers[0]
@@ -180,22 +204,17 @@ func (e *Engine) fanOut(jobs int, job func(w *engineWorker, i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for _, w := range workers {
-		go func(w *engineWorker) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= jobs {
-					return
-				}
-				job(w, i)
-			}
-		}(w)
+	if e.fanBody == nil {
+		e.fanBody = e.fanShard
 	}
-	wg.Wait()
+	e.job = job
+	// Ball extraction + tree build per index: heavy items, fine shards.
+	span := jobs / (nw * 8)
+	if span < 1 {
+		span = 1
+	}
+	e.pool.RunSpan(jobs, nw, span, e.fanBody)
+	e.job = nil
 }
 
 // rebuildRoot recomputes root u's tree from its ball-extracted local

@@ -1,0 +1,68 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/dynamic"
+)
+
+// TestEngineWidthDeterminism pins the engine's fan-out: a full
+// simulated run and a sequence of reflood ticks produce identical
+// traffic accounting, spanners and trees at forced worker widths 1, 2
+// and 7. Traffic counters are per-node slots merged after the fan-out,
+// so the stealing schedule must be invisible in every total.
+func TestEngineWidthDeterminism(t *testing.T) {
+	for fam, g := range testFamilies(60, 31) {
+		for _, p := range enginePairs() {
+			widths := []int{1, 2, 7}
+			engines := make([]*Engine, len(widths))
+			results := make([]*Result, len(widths))
+			for i, w := range widths {
+				engines[i] = NewEngine(g.Clone(), p.radius, p.build)
+				engines[i].forceWidth = w
+				results[i] = engines[i].Run()
+			}
+			ref := results[0]
+			for i, res := range results[1:] {
+				if res.Rounds != ref.Rounds || res.Messages != ref.Messages || res.Words != ref.Words {
+					t.Fatalf("%s/%s width=%d: traffic (%d,%d,%d) differs from serial (%d,%d,%d)",
+						fam, p.name, widths[i+1], res.Rounds, res.Messages, res.Words,
+						ref.Rounds, ref.Messages, ref.Words)
+				}
+				if !edgeSetsEqual(res.H, ref.H) {
+					t.Fatalf("%s/%s width=%d: spanner differs from serial", fam, p.name, widths[i+1])
+				}
+			}
+
+			// Churn ticks: identical change batches must reflood the same
+			// words at every width.
+			rng := rand.New(rand.NewSource(32))
+			n := g.N()
+			for tick := 0; tick < 4; tick++ {
+				batch := make([]dynamic.Change, 0, 10)
+				for len(batch) < 10 {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u == v {
+						continue
+					}
+					kind := dynamic.AddEdge
+					if engines[0].Graph().HasEdge(u, v) && rng.Intn(2) == 0 {
+						kind = dynamic.RemoveEdge
+					}
+					batch = append(batch, dynamic.Change{Kind: kind, U: u, V: v})
+				}
+				stats := make([]TickStats, len(widths))
+				for i, e := range engines {
+					stats[i] = e.Reflood(batch)
+				}
+				for i := 1; i < len(widths); i++ {
+					if stats[i] != stats[0] {
+						t.Fatalf("%s/%s tick %d width=%d: stats %+v differ from serial %+v",
+							fam, p.name, tick, widths[i], stats[i], stats[0])
+					}
+				}
+			}
+		}
+	}
+}

@@ -29,12 +29,9 @@
 package dynamic
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"remspan/internal/domtree"
 	"remspan/internal/graph"
+	"remspan/internal/sched"
 )
 
 // TreeBuilder builds the dominating tree for a root on a graph.View
@@ -109,6 +106,11 @@ type Maintainer struct {
 	dirty     *graph.BFSScratch  // bounded sweeps + dirty-union accumulator
 	rebuilt   int64              // cumulative trees rebuilt (ablation metric)
 	snapshots bool               // ablation: re-snapshot per applied change
+
+	pool        sched.Pool          // shard scheduler for batch repairs
+	roots       []int32             // per-run dirty roots the shard body reads
+	rebuildBody func(w, lo, hi int) // prebound shard body
+	forceWidth  int                 // test hook: >0 overrides the worker count
 }
 
 // New computes the initial spanner over a clone of g. radius is the
@@ -283,44 +285,53 @@ func ApplyChange(g *graph.Graph, delta *graph.CSRDelta, dirty *graph.BFSScratch,
 	}
 }
 
+// rebuildShard rebuilds the dirty roots indexed [lo, hi) on worker w's
+// pooled scratch. Each root writes only its own trees slot, so the
+// stealing schedule cannot affect the stored trees.
+//
+//remspan:hotpath
+func (m *Maintainer) rebuildShard(w, lo, hi int) {
+	scratch := m.workers[w]
+	for i := lo; i < hi; i++ {
+		u := int(m.roots[i])
+		m.storeTree(u, m.build(m.view, scratch, u))
+	}
+}
+
 // rebuildDirty rebuilds every root in the accumulated dirty union —
-// serially in ascending id order, or fanned out over workers for large
-// unions (per-root results are independent, so the nondeterministic
-// parallel interleaving yields the same trees).
+// serially in ascending id order for small unions, or fanned out over
+// the shard scheduler (per-root results are independent and land in
+// per-root slots, so the stored trees are identical at every width).
 func (m *Maintainer) rebuildDirty() {
 	roots := m.dirty.UnionSorted()
 	const parallelThreshold = 32
-	if len(roots) < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 {
+	width := sched.Workers(len(roots))
+	if m.forceWidth > 0 {
+		width = m.forceWidth
+	} else if len(roots) < parallelThreshold {
+		width = 1
+	}
+	if width <= 1 {
 		for _, u := range roots {
 			m.rebuildTree(int(u))
 		}
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(roots) {
-		workers = len(roots)
-	}
-	for len(m.workers) < workers {
+	for len(m.workers) < width {
 		m.workers = append(m.workers, domtree.NewScratch(m.g.N()))
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		scratch := m.workers[w]
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(roots) {
-					return
-				}
-				u := int(roots[i])
-				m.storeTree(u, m.build(m.view, scratch, u))
-			}
-		}()
+	if m.rebuildBody == nil {
+		m.rebuildBody = m.rebuildShard
 	}
-	wg.Wait()
+	m.roots = roots
+	// Tree rebuilds are heavy items (a bounded BFS each), so shards
+	// shrink well below sched's vertex-grained floor.
+	span := len(roots) / (width * 8)
+	if span < 1 {
+		span = 1
+	}
+	m.pool.RunSpan(len(roots), width, span, m.rebuildBody)
+	m.roots = nil
 	m.rebuilt += int64(len(roots))
 }
 

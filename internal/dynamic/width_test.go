@@ -1,0 +1,72 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"remspan/internal/gen"
+)
+
+// TestRebuildDirtyWidthDeterminism pins the churn rebuild fan-out:
+// identical change streams applied at forced worker widths 1, 2 and 7
+// leave bit-identical spanners and per-root trees. The forceWidth hook
+// drives the parallel path even below the small-union serial threshold,
+// so the shard scheduler — not batch sizing — is what's under test.
+func TestRebuildDirtyWidthDeterminism(t *testing.T) {
+	for _, bb := range Builders() {
+		rng := rand.New(rand.NewSource(61))
+		g := gen.RandomTree(120, rng)
+		for i := 0; i < 260; i++ {
+			u, v := rng.Intn(120), rng.Intn(120)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+
+		widths := []int{1, 2, 7}
+		ms := make([]*Maintainer, len(widths))
+		for i, w := range widths {
+			ms[i] = New(g.Clone(), bb.Radius, bb.Build)
+			ms[i].forceWidth = w
+		}
+
+		crng := rand.New(rand.NewSource(62))
+		for round := 0; round < 6; round++ {
+			batch := make([]Change, 0, 24)
+			for len(batch) < 24 {
+				u, v := crng.Intn(120), crng.Intn(120)
+				if u == v {
+					continue
+				}
+				kind := AddEdge
+				if ms[0].Graph().HasEdge(u, v) && crng.Intn(2) == 0 {
+					kind = RemoveEdge
+				}
+				batch = append(batch, Change{Kind: kind, U: u, V: v})
+			}
+			for _, m := range ms {
+				m.ApplyBatch(batch)
+			}
+			ref := ms[0]
+			for i, m := range ms[1:] {
+				if !edgesEqual(ref.Spanner(), m.Spanner()) {
+					t.Fatalf("%s round %d: spanner at width %d differs from width 1",
+						bb.Name, round, widths[i+1])
+				}
+				for u := 0; u < g.N(); u++ {
+					a, b := ref.TreeOf(u), m.TreeOf(u)
+					if len(a) != len(b) {
+						t.Fatalf("%s round %d: tree of %d differs at width %d",
+							bb.Name, round, u, widths[i+1])
+					}
+					for j := range a {
+						if a[j] != b[j] {
+							t.Fatalf("%s round %d: tree of %d differs at width %d",
+								bb.Name, round, u, widths[i+1])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -432,18 +432,53 @@ const ballBudget = 4096
 // so fragmented graphs still fill words. Deterministic: same view,
 // same partition.
 func BatchOrder(view View) (order, starts []int32) {
+	return NewBatchOrderScratch().Order(view)
+}
+
+// BatchOrderScratch is the pooled working state of BatchOrder, for
+// call sites that re-cluster per run (the verification and routing
+// fan-outs): a warm scratch orders any number of views with zero
+// allocations. Not safe for concurrent use; the returned slices are
+// scratch-owned and valid until the next Order call.
+type BatchOrderScratch struct {
+	order, starts []int32
+	queue         []int32
+	assignedMark  []uint32 // == callEpoch ⇔ vertex already assigned this call
+	mark          []uint32 // per-ball visit stamps
+	epoch         uint32
+}
+
+// NewBatchOrderScratch returns an empty scratch; arrays grow to the
+// largest view seen.
+func NewBatchOrderScratch() *BatchOrderScratch {
+	return &BatchOrderScratch{}
+}
+
+// Order is BatchOrder into the scratch's pooled storage.
+func (s *BatchOrderScratch) Order(view View) (order, starts []int32) {
 	n := view.N()
-	order = make([]int32, 0, n)
-	starts = append(make([]int32, 0, n/64+2), 0)
-	assigned := make([]bool, n)
-	mark := make([]uint32, n)
-	var epoch uint32
-	queue := make([]int32, 0, n)
+	if cap(s.assignedMark) < n {
+		s.assignedMark = make([]uint32, n)
+		s.mark = make([]uint32, n)
+	}
+	assignedMark, mark := s.assignedMark[:n], s.mark[:n]
+	// One call consumes 1 + #balls ≤ n+1 epochs; rewind with headroom
+	// at a call boundary, where no stamps are live.
+	if s.epoch >= 1<<31 || s.epoch+uint32(n)+2 < s.epoch {
+		clear(s.assignedMark)
+		clear(s.mark)
+		s.epoch = 0
+	}
+	s.epoch++
+	callEpoch := s.epoch
+	s.order = s.order[:0]
+	s.starts = append(s.starts[:0], 0)
+	queue := s.queue
 	seed := 0
-	for len(order) < n {
+	for len(s.order) < n {
 		filled := 0
 		for filled < 64 && seed < n {
-			for seed < n && assigned[seed] {
+			for seed < n && assignedMark[seed] == callEpoch {
 				seed++
 			}
 			if seed >= n {
@@ -451,15 +486,15 @@ func BatchOrder(view View) (order, starts []int32) {
 			}
 			// One ball: BFS from seed, assigning unassigned vertices as
 			// they are discovered.
-			epoch++
+			s.epoch++
 			queue = append(queue[:0], int32(seed))
-			mark[seed] = epoch
+			mark[seed] = s.epoch
 			budget := ballBudget
 			for head := 0; head < len(queue); head++ {
 				u := queue[head]
-				if !assigned[u] {
-					assigned[u] = true
-					order = append(order, u)
+				if assignedMark[u] != callEpoch {
+					assignedMark[u] = callEpoch
+					s.order = append(s.order, u)
 					if filled++; filled == 64 {
 						break
 					}
@@ -468,8 +503,8 @@ func BatchOrder(view View) (order, starts []int32) {
 					break
 				}
 				for _, w := range view.Neighbors(int(u)) {
-					if mark[w] != epoch {
-						mark[w] = epoch
+					if mark[w] != s.epoch {
+						mark[w] = s.epoch
 						queue = append(queue, w)
 					}
 				}
@@ -478,7 +513,8 @@ func BatchOrder(view View) (order, starts []int32) {
 				break // ship a short batch rather than re-walk the region
 			}
 		}
-		starts = append(starts, int32(len(order)))
+		s.starts = append(s.starts, int32(len(s.order)))
 	}
-	return order, starts
+	s.queue = queue
+	return s.order, s.starts
 }

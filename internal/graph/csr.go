@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // CSR is an immutable compressed-sparse-row snapshot of a Graph: one
 // contiguous target array indexed by per-vertex offsets. Traversal-heavy
 // sweeps (all-roots BFS during spanner construction/verification) are
@@ -11,9 +13,28 @@ type CSR struct {
 	targets []int32
 }
 
+// maxEdgeSlots is the largest directed adjacency-slot count (2m) a CSR
+// can index: offsets are int32, so every slot index must fit one. The
+// ceiling is ~1.07 billion undirected edges — graphs past it must
+// shard. Like the routing engine's halfWidthMaxN, the bound is
+// re-checked at every snapshot so an overflow panics instead of
+// silently wrapping offsets negative (which would corrupt every
+// downstream sweep).
+const maxEdgeSlots = 1<<31 - 1
+
+// checkEdgeSlots panics when slots directed slots cannot be indexed by
+// int32 CSR offsets. Factored out of the snapshot paths so the
+// boundary is unit-testable without materializing 2³¹ edge slots.
+func checkEdgeSlots(slots int64) {
+	if slots > maxEdgeSlots {
+		panic(fmt.Sprintf("graph: %d directed edge slots overflow int32 CSR offsets (max %d undirected edges)", slots, int64(maxEdgeSlots)/2))
+	}
+}
+
 // NewCSR snapshots g. The snapshot does not observe later mutations.
 func NewCSR(g *Graph) *CSR {
 	n := g.N()
+	checkEdgeSlots(2 * int64(g.M()))
 	c := &CSR{
 		offsets: make([]int32, n+1),
 		targets: make([]int32, 0, 2*g.M()),

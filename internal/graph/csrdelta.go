@@ -123,6 +123,7 @@ func (d *CSRDelta) RemoveEdge(u, v int) bool {
 // should shed overlay memory or restore fully contiguous reads.
 func (d *CSRDelta) Compact() *CSR {
 	n := d.N()
+	checkEdgeSlots(2 * int64(d.m))
 	c := &CSR{
 		offsets: make([]int32, n+1),
 		targets: make([]int32, 0, 2*d.m),

@@ -19,6 +19,17 @@ func NewEdgeMarks(c *CSR) *EdgeMarks {
 	return &EdgeMarks{c: c, mark: make([]bool, len(c.targets))}
 }
 
+// Reset clears every mark, keeping the snapshot binding and backing
+// storage — the per-worker accumulators of the parallel construction
+// fan-out are pooled across builds and reset per run.
+func (m *EdgeMarks) Reset() {
+	if m.count == 0 {
+		return
+	}
+	clear(m.mark)
+	m.count = 0
+}
+
 // Add marks edge {u, v}, which must be an edge of the snapshot.
 func (m *EdgeMarks) Add(u, v int) {
 	if u == v {

@@ -46,8 +46,14 @@ func FromView(v View) *Graph {
 	}
 	n := v.N()
 	g := &Graph{adj: make([][]int32, n), m: v.M()}
+	// One slab for all rows — at n=1M, per-row allocations dominate the
+	// build and fragment the heap. Rows are capacity-clipped, so a later
+	// AddEdge reallocates only its own row.
+	flat := make([]int32, 0, 2*g.m)
 	for u := 0; u < n; u++ {
-		g.adj[u] = append([]int32(nil), v.Neighbors(u)...)
+		off := len(flat)
+		flat = append(flat, v.Neighbors(u)...)
+		g.adj[u] = flat[off:len(flat):len(flat)]
 	}
 	return g
 }
@@ -160,11 +166,16 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.m) / float64(len(g.adj))
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. Rows are carved from one slab
+// (capacity-clipped, so mutating one row never clobbers a neighbor's)
+// — per-row allocations dominate cloning at n=1M.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
+	flat := make([]int32, 0, 2*g.m)
 	for i, a := range g.adj {
-		c.adj[i] = append([]int32(nil), a...)
+		off := len(flat)
+		flat = append(flat, a...)
+		c.adj[i] = flat[off:len(flat):len(flat)]
 	}
 	return c
 }

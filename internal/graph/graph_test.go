@@ -249,3 +249,26 @@ func TestOutOfRangePanics(t *testing.T) {
 	}()
 	g.AddEdge(0, 5)
 }
+
+// TestSlabCloneRowIndependence pins the capacity-clipping of the slab
+// rows: growing one row of a clone (or FromView materialization) must
+// not clobber the next row's storage.
+func TestSlabCloneRowIndependence(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := g.Clone()
+	c.AddEdge(0, 3) // grows rows 0 and 3, adjacent slab neighbors
+	if !c.HasEdge(1, 2) || !c.HasEdge(2, 3) || !c.HasEdge(0, 1) {
+		t.Fatal("slab clone corrupted a neighboring row")
+	}
+	f := FromView(NewCSR(g))
+	f.AddEdge(0, 3)
+	if !f.HasEdge(1, 2) || !f.HasEdge(2, 3) || !f.HasEdge(0, 1) {
+		t.Fatal("slab FromView corrupted a neighboring row")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("clone aliases original")
+	}
+}

@@ -2,11 +2,10 @@ package routing
 
 import (
 	"math/bits"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"remspan/internal/graph"
+	"remspan/internal/sched"
 )
 
 // Word-parallel table construction: 64 owners' Next/Dist rows per
@@ -244,36 +243,93 @@ func BuildTablesBatched(g, h graph.View) []Table {
 	return out
 }
 
+// tableWorker is one pooled worker slot of the batched table fan-out.
+// The O(64·n) builder is the single most expensive scratch in the
+// repo, so it is retained across calls and recreated only when the
+// vertex count grows — or shrinks back across the half-width
+// boundary, so small graphs regain the uint32-packed engine.
+type tableWorker struct {
+	n int
+	b *BatchBuilder
+}
+
+// tableEnv is the reusable environment of BuildTablesBatchedInto's
+// shard fan-out over owner groups, mirroring spanner's build env: one
+// shared instance, transient fallback when busy.
+type tableEnv struct {
+	mu      sync.Mutex
+	pool    sched.Pool
+	order   *graph.BatchOrderScratch
+	workers []*tableWorker
+
+	// Per-run job, set under mu.
+	g, h             graph.View
+	tables           []Table
+	srcOrder, starts []int32
+
+	body func(w, lo, hi int)
+}
+
+func newTableEnv() *tableEnv {
+	e := &tableEnv{order: graph.NewBatchOrderScratch()}
+	e.body = e.shard
+	return e
+}
+
+var sharedTableEnv = newTableEnv()
+
+//remspan:hotpath
+func (e *tableEnv) shard(w, lo, hi int) {
+	tw := e.workers[w]
+	for b := lo; b < hi; b++ {
+		tw.b.BuildInto(e.g, e.h, e.tables, e.srcOrder[e.starts[b]:e.starts[b+1]])
+	}
+}
+
+func (e *tableEnv) acquire(width, n int) {
+	for len(e.workers) < width {
+		e.workers = append(e.workers, &tableWorker{})
+	}
+	for _, tw := range e.workers[:width] {
+		if tw.b == nil || tw.n < n || (tw.n > halfWidthMaxN && n <= halfWidthMaxN) {
+			tw.b = NewBatchBuilder(n)
+			tw.n = n
+		}
+	}
+}
+
 // BuildTablesBatchedInto is BuildTablesBatched into caller-provided
 // tables (len n, rows pre-sized).
 func BuildTablesBatchedInto(g, h graph.View, tables []Table) {
+	buildTablesBatchedWidth(g, h, tables, 0)
+}
+
+// buildTablesBatchedWidth is BuildTablesBatchedInto with an explicit
+// worker count (width ≤ 0 means sized to the group count) — the
+// determinism tests' entry point. Each group writes only its own
+// owners' table rows, so the result is bit-identical to BuildTables
+// at every width.
+func buildTablesBatchedWidth(g, h graph.View, tables []Table, width int) {
+	env := sharedTableEnv
+	if !env.mu.TryLock() {
+		env = newTableEnv()
+		env.mu.Lock()
+	}
+	defer env.mu.Unlock()
 	n := g.N()
-	order, starts := graph.BatchOrder(g)
-	nb := len(starts) - 1
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nb {
-		workers = nb
+	env.srcOrder, env.starts = env.order.Order(g)
+	nb := len(env.starts) - 1
+	if width <= 0 {
+		width = sched.Workers(nb)
 	}
-	if workers <= 1 {
-		b := NewBatchBuilder(n)
-		b.BuildInto(g, h, tables, order)
-		return
+	env.acquire(width, n)
+	env.g, env.h, env.tables = g, h, tables
+	// One item is a 64-owner sweep: heavy, so shards shrink to single
+	// groups rather than sched's vertex-grained floor.
+	span := nb / (width * 8)
+	if span < 1 {
+		span = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			b := NewBatchBuilder(n)
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(nb) {
-					return
-				}
-				b.BuildInto(g, h, tables, order[starts[i]:starts[i+1]])
-			}
-		}()
-	}
-	wg.Wait()
+	env.pool.RunSpan(nb, width, span, env.body)
+	env.g, env.h, env.tables, env.srcOrder, env.starts = nil, nil, nil, nil, nil
 }

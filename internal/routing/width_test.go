@@ -1,0 +1,57 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"remspan/internal/spanner"
+	"remspan/internal/testutil"
+)
+
+// TestBatchedTablesWidthDeterminism pins the table-construction fan-out
+// at explicit worker widths: every width produces tables bit-identical
+// to the width-1 run and to the scalar per-owner builder, spanner
+// quality (exact, broken, empty) notwithstanding. Width 7 never divides
+// the batch count evenly, so the stealing path is exercised directly
+// rather than via GOMAXPROCS.
+func TestBatchedTablesWidthDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for fam, g := range routingFamilies() {
+		for hname, h := range routingSpanners(g, rng) {
+			want := BuildTables(g, h)
+			for _, width := range []int{1, 2, 7} {
+				tables := NewTables(g.N())
+				buildTablesBatchedWidth(g, h, tables, width)
+				tablesEqual(t, fmt.Sprintf("%s/%s width=%d", fam, hname, width), want, tables)
+			}
+		}
+	}
+}
+
+// TestBatchedTablesWidthSweepUDG widens the sweep on the geometric
+// family the production path serves, one spanner, many widths.
+func TestBatchedTablesWidthSweepUDG(t *testing.T) {
+	g := routingFamilies()["udg"]
+	h := spanner.Exact(g).Graph()
+	want := BuildTables(g, h)
+	for _, width := range []int{2, 3, 5, 8, 13} {
+		tables := NewTables(g.N())
+		buildTablesBatchedWidth(g, h, tables, width)
+		tablesEqual(t, fmt.Sprintf("udg width=%d", width), want, tables)
+	}
+}
+
+// TestBatchedTablesWidthZeroAlloc pins the warm shard fan-out
+// allocation-free: once the shared env's per-worker builders, batch
+// order scratch, and pool helpers are grown, repeat builds at a fixed
+// width touch no heap.
+func TestBatchedTablesWidthZeroAlloc(t *testing.T) {
+	g := routingFamilies()["udg"]
+	h := spanner.Exact(g).Graph()
+	tables := NewTables(g.N())
+	buildTablesBatchedWidth(g, h, tables, 4) // warm env + pool
+	testutil.PinAllocs(t, "warm batched table fan-out", 5, func() {
+		buildTablesBatchedWidth(g, h, tables, 4)
+	})
+}

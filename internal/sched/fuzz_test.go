@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzShardCoverage drives the scheduler over adversarial (items,
+// width, span) triples and asserts the two load-bearing invariants:
+// every index runs exactly once, and a deterministic ordered fold over
+// per-shard results equals the serial fold.
+func FuzzShardCoverage(f *testing.F) {
+	f.Add(100, 4, 7)
+	f.Add(1, 16, 1)
+	f.Add(65, 2, 64)
+	f.Add(4096, 3, 4096)
+	f.Add(9999, 8, 0)
+	f.Fuzz(func(t *testing.T, items, width, span int) {
+		if items < 0 || items > 1<<16 {
+			items = (items%(1<<16) + 1<<16) % (1 << 16)
+		}
+		width = (width%17+17)%17 + 1
+		if span < 1 || span > items+1 {
+			span = SpanFor(items, width)
+		}
+		var p Pool
+		seen := make([]int32, items)
+		p.RunSpan(items, width, span, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("items=%d width=%d span=%d: index %d visited %d times", items, width, span, i, c)
+			}
+		}
+
+		var r Reducer[int]
+		var got int
+		r.Map(&p, items, width,
+			func(w, lo, hi int) int { return hi - lo },
+			func(v int) { got = got*1000003 + v })
+		autoSpan := SpanFor(items, width)
+		want := 0
+		for lo := 0; lo < items; lo += autoSpan {
+			hi := lo + autoSpan
+			if hi > items {
+				hi = items
+			}
+			want = want*1000003 + (hi - lo)
+		}
+		if got != want {
+			t.Fatalf("items=%d width=%d: ordered reduce %d, want %d", items, width, got, want)
+		}
+	})
+}

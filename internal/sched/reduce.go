@@ -1,0 +1,36 @@
+package sched
+
+// Reducer folds per-shard results in ascending shard order, so a
+// parallel map-reduce is bit-identical to its serial fold no matter
+// how the shards were stolen. The slot table is retained across calls
+// — a warm Reducer over a stable shard geometry allocates nothing.
+//
+// Like the Pool it drives, a Reducer serializes its calls; it is the
+// per-call-site companion object, not a shared one.
+type Reducer[R any] struct {
+	slots []R
+}
+
+// Map runs body over [0, items) on p (span SpanFor(items, width)),
+// storing each shard's result in the shard's slot, then calls fold on
+// every slot in ascending shard order after the barrier. The fold runs
+// on the calling goroutine; body runs on pool workers and must not
+// touch fold state.
+func (r *Reducer[R]) Map(p *Pool, items, width int, body func(w, lo, hi int) R, fold func(R)) {
+	span := SpanFor(items, width)
+	shards := Shards(items, span)
+	if cap(r.slots) < shards {
+		r.slots = make([]R, shards)
+	}
+	slots := r.slots[:shards]
+	p.RunSpan(items, width, span, func(w, lo, hi int) {
+		slots[lo/span] = body(w, lo, hi)
+	})
+	for i := range slots {
+		fold(slots[i])
+	}
+	var zero R
+	for i := range slots {
+		slots[i] = zero // release result references between runs
+	}
+}

@@ -1,0 +1,257 @@
+// Package sched is the shared shard-parallel scheduling layer of the
+// repository: one work-stealing worker pool behind every goroutine
+// fan-out in the construction, verification, maintenance, simulation
+// and forwarding pipelines (spanner, dynamic, distsim, routing).
+//
+// # Why shards, not a shared counter
+//
+// The fan-outs this package replaced handed items out one at a time
+// from a single shared atomic counter. Every claim then bounced one
+// cache line between every core — at n = 1M roots that ping-pong is
+// the dominant cost of the distribution itself. Here the item range
+// [0, n) is cut into contiguous vertex-range shards (SpanFor: sized so
+// the per-item caller state of a shard — a few int32 rows — stays
+// cache-resident, with enough shards per worker to steal), the shard
+// index space is block-partitioned across workers, and each worker
+// claims shards from its own cache-line-padded cursor. Cursors are
+// only contended during stealing at the tail of a run, so the
+// steady-state claim is an uncontended atomic on a private line, and
+// consecutive items of a shard walk adjacent caller state.
+//
+// # Work stealing
+//
+// Worker w owns the shard block [w·G/W, (w+1)·G/W). It drains its own
+// block first; when empty it scans the other workers' cursors in ring
+// order and claims from any block with shards left, through the same
+// per-victim cursor. Claims are monotone per block (an over-claim past
+// the block end is harmless and terminates the scan), so every shard
+// is executed exactly once — the fuzz target pins coverage-exactly-
+// once over adversarial (items, width, span) triples.
+//
+// # Per-worker scratch lifecycle
+//
+// Run's body receives the executing worker's index w < width. Call
+// sites keep their per-worker scratch (domtree.Scratch, BitScratch,
+// TableScratch, EdgeMarks, …) in worker-indexed slots that live across
+// runs — acquire is indexing by w, reset is the call site's per-run
+// epoch/stamp discipline, release is a no-op (slots are retained) —
+// so steady-state fan-outs allocate nothing (testutil.PinAllocs pins
+// the contract at the call sites).
+//
+// # Deterministic ordered reduce
+//
+// Workers may execute shards in any interleaving, so a result must
+// never depend on completion order. Two sanctioned shapes:
+//
+//   - Reduce collects one result per shard and folds the slots in
+//     ascending shard order after the barrier — bit-identical to the
+//     serial fold whatever the stealing pattern (the spanner
+//     verification witness uses this: first non-nil shard violation in
+//     shard order IS the global lexicographic minimum).
+//   - Per-worker accumulators merged in ascending worker order after
+//     the barrier, valid only when the merge is order-independent by
+//     construction (integer-bucketed sums, set unions, max) — the
+//     stretch-profile and edge-mark unions use this.
+//
+// Everything else writes per-item slots (results[i] written by exactly
+// one claim), which commutes trivially.
+//
+// A Pool is cheap: helper goroutines are spawned lazily on first
+// parallel run and then park on a channel; each subsystem owns its
+// pool (a shared pool would serialize independent subsystems, because
+// Run is mutually exclusive per pool).
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minSpan floors the automatic shard span: a claim (one atomic
+	// add) must amortize over at least this many items, and one shard's
+	// int32 caller state (4·minSpan bytes) still fits comfortably in L1.
+	minSpan = 64
+	// maxSpan caps the automatic span so huge ranges still split into
+	// enough shards to steal (and an int32 row per item stays within a
+	// few pages — the "cache-sized vertex range").
+	maxSpan = 4096
+	// stealShards is the target number of shards per worker block:
+	// enough granularity for the tail-steal to rebalance a skewed
+	// workload, few enough that claims stay rare.
+	stealShards = 8
+)
+
+// Workers returns the worker count a fan-out over items should use:
+// GOMAXPROCS clamped to the item count, at least 1. Call sites size
+// their per-worker scratch slots with it and pass it to Run (tests
+// pass explicit widths to pin parallel == serial regardless of the
+// host's core count).
+func Workers(items int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SpanFor returns the shard span Run uses for items over width
+// workers: items/(width·stealShards) clamped to [minSpan, maxSpan],
+// and to the whole range when width <= 1. Exposed so Reduce can size
+// its per-shard slot table to match Run's geometry exactly.
+func SpanFor(items, width int) int {
+	if width <= 1 || items <= minSpan {
+		if items < 1 {
+			return 1
+		}
+		return items
+	}
+	span := items / (width * stealShards)
+	if span < minSpan {
+		span = minSpan
+	}
+	if span > maxSpan {
+		span = maxSpan
+	}
+	return span
+}
+
+// Shards returns the shard count of an items-range at the given span.
+func Shards(items, span int) int {
+	if items <= 0 {
+		return 0
+	}
+	return (items + span - 1) / span
+}
+
+// cursor is one worker block's claim position, padded so neighboring
+// cursors never share a cache line (the whole point of per-worker
+// claims).
+type cursor struct {
+	pos atomic.Int64
+	_   [56]byte
+}
+
+// Pool is a reusable work-stealing shard scheduler. The zero value is
+// ready to use. Helper goroutines are spawned lazily up to the widest
+// run seen and then park between runs; Run is mutually exclusive per
+// pool (concurrent callers queue), so give independent subsystems
+// independent pools.
+type Pool struct {
+	mu sync.Mutex // serializes runs; guards helper spawning
+
+	// Current job, written under mu before helpers are woken.
+	body     func(w, lo, hi int)
+	items    int
+	span     int
+	width    int
+	cursors  []cursor
+	blockEnd []int64
+
+	wake []chan struct{} // helper i serves worker id i+1 when signaled
+	wg   sync.WaitGroup
+}
+
+// Run executes body over the item range [0, items), partitioned into
+// contiguous [lo, hi) shards (span chosen by SpanFor), across width
+// workers. body(w, lo, hi) runs on worker w in [0, width); the same w
+// never runs two shards concurrently, so w safely indexes per-worker
+// scratch. width <= 1 runs serially on the calling goroutine with no
+// synchronization at all — the steady-state zero-allocation path.
+func (p *Pool) Run(items, width int, body func(w, lo, hi int)) {
+	p.RunSpan(items, width, SpanFor(items, width), body)
+}
+
+// RunSpan is Run with an explicit shard span — for item domains where
+// one item is itself a large work unit (a 64-source batch sweep) and
+// the default vertex-sized span would under-split the range.
+func (p *Pool) RunSpan(items, width, span int, body func(w, lo, hi int)) {
+	if items <= 0 {
+		return
+	}
+	if span < 1 {
+		span = 1
+	}
+	shards := Shards(items, span)
+	if width > shards {
+		width = shards
+	}
+	if width <= 1 {
+		body(0, 0, items)
+		return
+	}
+	p.mu.Lock()
+	p.body, p.items, p.span, p.width = body, items, span, width
+	if cap(p.cursors) < width {
+		p.cursors = make([]cursor, width)
+		p.blockEnd = make([]int64, width)
+	}
+	p.cursors = p.cursors[:width]
+	p.blockEnd = p.blockEnd[:width]
+	for w := 0; w < width; w++ {
+		p.cursors[w].pos.Store(int64(w * shards / width))
+		p.blockEnd[w] = int64((w + 1) * shards / width)
+	}
+	for len(p.wake) < width-1 {
+		id := len(p.wake) + 1
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.serve(id, ch)
+	}
+	p.wg.Add(width - 1)
+	for i := 0; i < width-1; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.work(0)
+	p.wg.Wait()
+	p.body = nil // release the closure between runs
+	p.mu.Unlock()
+}
+
+// serve is a parked helper goroutine: each wake signal is one run it
+// participates in as worker id.
+func (p *Pool) serve(id int, ch chan struct{}) {
+	for range ch {
+		if id < p.width {
+			p.work(id)
+		}
+		p.wg.Done()
+	}
+}
+
+// work drains worker w's own shard block, then steals from the other
+// blocks in ring order until every cursor is exhausted.
+//
+//remspan:hotpath
+func (p *Pool) work(w int) {
+	p.drain(w, w)
+	for off := 1; off < p.width; off++ {
+		p.drain(w, (w+off)%p.width)
+	}
+}
+
+// drain claims shards from block v's cursor until it passes the block
+// end, running each on worker w. The load before the claim keeps
+// finished blocks read-only (no cross-core invalidations while other
+// workers scan past them).
+//
+//remspan:hotpath
+func (p *Pool) drain(w, v int) {
+	end := p.blockEnd[v]
+	for p.cursors[v].pos.Load() < end {
+		s := p.cursors[v].pos.Add(1) - 1
+		if s >= end {
+			return
+		}
+		lo := int(s) * p.span
+		hi := lo + p.span
+		if hi > p.items {
+			hi = p.items
+		}
+		p.body(w, lo, hi)
+	}
+}

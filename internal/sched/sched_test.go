@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"remspan/internal/testutil"
+)
+
+// coverage runs body over items at the given width/span and asserts
+// every index is visited exactly once, by a worker id within range.
+func coverage(t *testing.T, p *Pool, items, width, span int) {
+	t.Helper()
+	seen := make([]int32, items)
+	var badWorker atomic.Int32
+	badWorker.Store(-1)
+	p.RunSpan(items, width, span, func(w, lo, hi int) {
+		if w < 0 || w >= width {
+			badWorker.Store(int32(w))
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if bw := badWorker.Load(); bw >= 0 {
+		t.Fatalf("items=%d width=%d span=%d: worker id %d out of range", items, width, span, bw)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("items=%d width=%d span=%d: index %d visited %d times, want 1", items, width, span, i, c)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	var p Pool
+	for _, items := range []int{0, 1, 2, 63, 64, 65, 1000, 4097, 100000} {
+		for _, width := range []int{1, 2, 3, 7, 16} {
+			for _, span := range []int{1, 2, 64, 1024, items + 1} {
+				if span < 1 {
+					continue
+				}
+				coverage(t, &p, items, width, span)
+			}
+		}
+	}
+}
+
+func TestRunAutoSpan(t *testing.T) {
+	var p Pool
+	for _, items := range []int{0, 1, 500, 65536} {
+		for _, width := range []int{1, 2, 7, Workers(items)} {
+			span := SpanFor(items, width)
+			if items > 0 && span < 1 {
+				t.Fatalf("SpanFor(%d,%d) = %d", items, width, span)
+			}
+			coverage(t, &p, items, width, span)
+		}
+	}
+}
+
+// TestSameWorkerNeverConcurrent pins the per-worker scratch contract:
+// one worker id never executes two shards at the same time.
+func TestSameWorkerNeverConcurrent(t *testing.T) {
+	var p Pool
+	const width = 7
+	var active [width]atomic.Int32
+	var violated atomic.Bool
+	p.RunSpan(10000, width, 16, func(w, lo, hi int) {
+		if active[w].Add(1) != 1 {
+			violated.Store(true)
+		}
+		for i := lo; i < hi; i++ {
+			_ = i * i
+		}
+		active[w].Add(-1)
+	})
+	if violated.Load() {
+		t.Fatal("one worker id executed two shards concurrently")
+	}
+}
+
+// TestReduceOrderedFold pins the determinism contract: the fold sees
+// shard results in ascending shard order regardless of stealing, so a
+// non-commutative fold is bit-identical to the serial one.
+func TestReduceOrderedFold(t *testing.T) {
+	var p Pool
+	var r Reducer[int]
+	const items = 100000
+	for _, width := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		// Non-commutative fold: acc = acc*31 + firstIndexOfShard.
+		var got int
+		r.Map(&p, items, width,
+			func(w, lo, hi int) int { return lo },
+			func(v int) { got = got*31 + v })
+		span := SpanFor(items, width)
+		want := 0
+		for lo := 0; lo < items; lo += span {
+			want = want*31 + lo
+		}
+		if got != want {
+			t.Fatalf("width=%d: ordered fold %d, want %d", width, got, want)
+		}
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+	if w := Workers(1 << 30); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(big) = %d, want GOMAXPROCS", w)
+	}
+}
+
+func TestSpanForBounds(t *testing.T) {
+	if s := SpanFor(10, 1); s != 10 {
+		t.Fatalf("serial span = %d, want whole range", s)
+	}
+	if s := SpanFor(0, 4); s != 1 {
+		t.Fatalf("empty span = %d, want 1", s)
+	}
+	if s := SpanFor(1<<20, 4); s != maxSpan {
+		t.Fatalf("huge span = %d, want cap %d", s, maxSpan)
+	}
+	if s := SpanFor(1000, 4); s != minSpan {
+		t.Fatalf("small span = %d, want floor %d", s, minSpan)
+	}
+}
+
+// TestSerialPathZeroAlloc pins the width-1 fast path: no goroutines,
+// no synchronization, no allocations.
+func TestSerialPathZeroAlloc(t *testing.T) {
+	var p Pool
+	sink := 0
+	body := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink += i
+		}
+	}
+	testutil.PinAllocs(t, "sched.Pool.Run width=1", 100, func() {
+		p.Run(4096, 1, body)
+	})
+}
+
+// TestWarmParallelRunZeroAlloc pins the steady-state parallel path: a
+// warm pool with a prebound body performs no per-run heap allocations
+// (helper goroutines are parked, cursors are retained).
+func TestWarmParallelRunZeroAlloc(t *testing.T) {
+	var p Pool
+	var sinks [4][8]int64 // padded-ish per-worker slots
+	body := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sinks[w][0] += int64(i)
+		}
+	}
+	p.RunSpan(100000, 4, 1024, body) // warm: spawn helpers
+	testutil.PinAllocs(t, "sched.Pool.RunSpan warm width=4", 50, func() {
+		p.RunSpan(100000, 4, 1024, body)
+	})
+}
+
+// TestRunsAreReusableAcrossWidths exercises shrinking and growing the
+// width on one pool.
+func TestRunsAreReusableAcrossWidths(t *testing.T) {
+	var p Pool
+	for _, width := range []int{5, 1, 3, 8, 2} {
+		coverage(t, &p, 5000, width, 64)
+	}
+}

@@ -1,12 +1,11 @@
 package spanner
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"remspan/internal/domtree"
 	"remspan/internal/graph"
+	"remspan/internal/sched"
 )
 
 // CSRBuilder builds the dominating tree for one root on a graph.View
@@ -16,50 +15,123 @@ import (
 // are unions of these.
 type CSRBuilder func(c graph.View, s *domtree.Scratch, u int) *graph.Tree
 
-// buildParallel snapshots g once and constructs one dominating tree per
-// root using a worker pool (roots are independent — the paper's
-// algorithms need no synchronization between node decisions), merging
-// the edges into a single set. Each worker owns one domtree.Scratch, so
-// the per-root hot loop allocates nothing. The merge order does not
-// affect the result because the union is a set; the output is identical
-// to UnionSerialCSR and to the map-based UnionSerial reference.
+// buildWorker is one worker slot of the construction fan-out, retained
+// across builds: the domtree scratch is reused for any graph up to its
+// size, and the local edge-mark accumulator is reused whenever the
+// snapshot is the same one as the previous run (the steady-state
+// repeated-build case PinAllocs covers) and rebuilt otherwise.
+type buildWorker struct {
+	n       int
+	scratch *domtree.Scratch
+	csr     *graph.CSR
+	local   *graph.EdgeMarks
+}
+
+// buildEnv is the reusable environment of the parallel construction
+// fan-out: the sched pool, the per-worker scratch slots, and the
+// per-run parameters the prebound shard body reads. One env serves
+// the package; a concurrent build that finds it busy runs on a
+// transient env instead (correctness never depends on the pooling).
+type buildEnv struct {
+	mu      sync.Mutex
+	pool    sched.Pool
+	workers []*buildWorker
+
+	// Per-run job, set under mu.
+	c       *graph.CSR
+	builder CSRBuilder
+	sizes   []int
+
+	body func(w, lo, hi int) // prebound shard body
+}
+
+func newBuildEnv() *buildEnv {
+	e := &buildEnv{}
+	e.body = e.shard
+	return e
+}
+
+var sharedBuildEnv = newBuildEnv()
+
+// shard builds the trees of roots [lo, hi) on worker w's pooled
+// scratch, accumulating edges into the worker-local marks. Per-root
+// results land in per-item slots (sizes) or commutative accumulators
+// (the marks union), so the stealing schedule cannot affect the
+// result.
+//
+//remspan:hotpath
+func (e *buildEnv) shard(w, lo, hi int) {
+	bw := e.workers[w]
+	for u := lo; u < hi; u++ {
+		t := e.builder(e.c, bw.scratch, u)
+		e.sizes[u] = t.EdgeCount()
+		bw.local.AddTree(t)
+	}
+}
+
+// acquire readies width worker slots for a run over c: scratches are
+// grown to the snapshot's size once and then reused; local marks are
+// reset in place when the snapshot is unchanged and rebound otherwise.
+func (e *buildEnv) acquire(width int, c *graph.CSR) {
+	for len(e.workers) < width {
+		e.workers = append(e.workers, &buildWorker{})
+	}
+	n := c.N()
+	for _, bw := range e.workers[:width] {
+		if bw.scratch == nil || bw.n < n {
+			bw.scratch = domtree.NewScratch(n)
+			bw.n = n
+		}
+		if bw.csr == c {
+			bw.local.Reset()
+		} else {
+			bw.local = graph.NewEdgeMarks(c)
+			bw.csr = c
+		}
+	}
+}
+
+// unionParallelCSR fans the per-root tree builds over the shard
+// scheduler with width workers and merges the worker-local edge marks
+// into marks in ascending worker order (set union commutes, so the
+// merge order is a determinism convention, not a load-bearing one).
+// sizes[u] receives each root's tree edge count. A warm env run over
+// an unchanged snapshot performs no steady-state heap allocations
+// (TestUnionParallelZeroAlloc).
+func unionParallelCSR(c *graph.CSR, builder CSRBuilder, width int, marks *graph.EdgeMarks, sizes []int) {
+	env := sharedBuildEnv
+	if !env.mu.TryLock() {
+		env = newBuildEnv()
+		env.mu.Lock()
+	}
+	defer env.mu.Unlock()
+	env.acquire(width, c)
+	env.c, env.builder, env.sizes = c, builder, sizes
+	env.pool.Run(c.N(), width, env.body)
+	env.c, env.builder, env.sizes = nil, nil, nil
+	for _, bw := range env.workers[:width] {
+		marks.Union(bw.local)
+	}
+}
+
+// buildParallel snapshots g once and constructs one dominating tree
+// per root across the shared shard scheduler (roots are independent —
+// the paper's algorithms need no synchronization between node
+// decisions), merging the edges into a single set. Each worker slot
+// owns one pooled domtree.Scratch and local accumulator, so the
+// per-root hot loop allocates nothing. The output is bit-identical to
+// UnionSerialCSR at every worker count (TestBuildParallelDeterminism)
+// and to the map-based UnionSerial reference.
 func buildParallel(g *graph.Graph, builder CSRBuilder) *Result {
 	c := graph.NewCSR(g)
 	n := c.N()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	width := sched.Workers(n)
+	if width <= 1 {
 		return UnionSerialCSR(c, builder)
 	}
-
-	sizes := make([]int, n)
 	marks := graph.NewEdgeMarks(c)
-	var mu sync.Mutex
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			scratch := domtree.NewScratch(n)
-			local := graph.NewEdgeMarks(c)
-			for {
-				u := int(next.Add(1)) - 1
-				if u >= n {
-					break
-				}
-				t := builder(c, scratch, u)
-				sizes[u] = t.EdgeCount()
-				local.AddTree(t)
-			}
-			mu.Lock()
-			marks.Union(local)
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
+	sizes := make([]int, n)
+	unionParallelCSR(c, builder, width, marks, sizes)
 	return &Result{H: marks.EdgeSet(), TreeEdges: sizes, marks: marks}
 }
 

@@ -2,12 +2,12 @@ package spanner
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"remspan/internal/flow"
 	"remspan/internal/graph"
+	"remspan/internal/sched"
 )
 
 // Stretch is an exact rational stretch bound (αN/αD, βN/βD).
@@ -105,71 +105,124 @@ func CheckScalar(g, h *graph.Graph, st Stretch) *Violation {
 	return checkScalarCSR(graph.NewCSR(g), graph.NewCSR(h), st)
 }
 
-func checkScalarCSR(cg, ch *graph.CSR, st Stretch) *Violation {
-	n := cg.N()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next atomic.Int64
-	// stop is the smallest source known to violate: once set, no worker
-	// claims a source ≥ stop, so the pool drains instead of scanning to
-	// completion. Claims are monotone, so every source below the first
-	// violation is still fully processed — which is what makes the
-	// returned lexicographic minimum exact.
-	var stop atomic.Int64
-	stop.Store(int64(n))
-	var mu sync.Mutex
-	var best *Violation
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			vs := NewViewScratch(n)
-			gs := graph.NewBFSScratch(n)
-			for {
-				u := int(next.Add(1)) - 1
-				if u >= n || int64(u) >= stop.Load() {
-					return
-				}
-				// Touched-only reset keeps fragmented graphs O(Σ|component|),
-				// not O(n) per root.
-				dg, _, reached := gs.BoundedView(cg, u, n)
-				dh := vs.BFSCSR(cg, ch, u)
-				minV := int32(-1)
-				for _, v := range reached {
-					if dg[v] < 2 {
-						continue
-					}
-					if dh[v] == graph.Unreached || !st.Holds(int64(dg[v]), int64(dh[v])) {
-						if minV < 0 || v < minV {
-							minV = v
-						}
-					}
-				}
-				if minV < 0 {
-					continue
-				}
-				for {
-					cur := stop.Load()
-					if int64(u) >= cur || stop.CompareAndSwap(cur, int64(u)) {
-						break
-					}
-				}
-				vio := &Violation{U: u, V: int(minV), DG: int(dg[minV]), DH: dhField(dh[minV]), K: 1}
-				mu.Lock()
-				if best == nil || vio.U < best.U || (vio.U == best.U && vio.V < best.V) {
-					best = vio
-				}
-				mu.Unlock()
+// scalarVerifyWorker is one pooled worker slot of the scalar
+// verification fan-out: BFS scratch for both graphs, reused across
+// calls and regrown only when the vertex count does.
+type scalarVerifyWorker struct {
+	n  int
+	vs *ViewScratch
+	gs *graph.BFSScratch
+}
+
+// scalarVerifyEnv is the reusable environment of checkScalarCSR's
+// shard fan-out, mirroring buildEnv: one shared instance, transient
+// fallback when busy.
+type scalarVerifyEnv struct {
+	mu      sync.Mutex
+	pool    sched.Pool
+	workers []*scalarVerifyWorker
+
+	// Per-run job, set under mu.
+	cg, ch *graph.CSR
+	st     Stretch
+	// stop is the smallest source known to violate: once set, workers
+	// skip sources ≥ stop, so the pool drains instead of scanning to
+	// completion. Every source is claimed exactly once and stop only
+	// decreases to recorded violations, so each source below the final
+	// stop is still fully processed — which is what makes the returned
+	// lexicographic minimum exact despite stealing.
+	stop    atomic.Int64
+	resMu   sync.Mutex
+	best    Violation // by value: the shard body must not allocate
+	hasBest bool
+
+	body func(w, lo, hi int)
+}
+
+func newScalarVerifyEnv() *scalarVerifyEnv {
+	e := &scalarVerifyEnv{}
+	e.body = e.shard
+	return e
+}
+
+var sharedScalarVerifyEnv = newScalarVerifyEnv()
+
+//remspan:hotpath
+func (e *scalarVerifyEnv) shard(w, lo, hi int) {
+	sw := e.workers[w]
+	for u := lo; u < hi; u++ {
+		if int64(u) >= e.stop.Load() {
+			continue
+		}
+		// Touched-only reset keeps fragmented graphs O(Σ|component|),
+		// not O(n) per root.
+		dg, _, reached := sw.gs.BoundedView(e.cg, u, e.cg.N())
+		dh := sw.vs.BFSCSR(e.cg, e.ch, u)
+		minV := int32(-1)
+		for _, v := range reached {
+			if dg[v] < 2 {
+				continue
 			}
-		}()
+			if dh[v] == graph.Unreached || !e.st.Holds(int64(dg[v]), int64(dh[v])) {
+				if minV < 0 || v < minV {
+					minV = v
+				}
+			}
+		}
+		if minV < 0 {
+			continue
+		}
+		for {
+			cur := e.stop.Load()
+			if int64(u) >= cur || e.stop.CompareAndSwap(cur, int64(u)) {
+				break
+			}
+		}
+		vio := Violation{U: u, V: int(minV), DG: int(dg[minV]), DH: dhField(dh[minV]), K: 1}
+		e.resMu.Lock()
+		if !e.hasBest || vio.U < e.best.U || (vio.U == e.best.U && vio.V < e.best.V) {
+			e.best, e.hasBest = vio, true
+		}
+		e.resMu.Unlock()
 	}
-	wg.Wait()
+}
+
+func (e *scalarVerifyEnv) acquire(width, n int) {
+	for len(e.workers) < width {
+		e.workers = append(e.workers, &scalarVerifyWorker{})
+	}
+	for _, sw := range e.workers[:width] {
+		if sw.vs == nil || sw.n < n {
+			sw.vs = NewViewScratch(n)
+			sw.gs = graph.NewBFSScratch(n)
+			sw.n = n
+		}
+	}
+}
+
+func checkScalarCSR(cg, ch *graph.CSR, st Stretch) *Violation {
+	return checkScalarCSRWidth(cg, ch, st, sched.Workers(cg.N()))
+}
+
+func checkScalarCSRWidth(cg, ch *graph.CSR, st Stretch, width int) *Violation {
+	env := sharedScalarVerifyEnv
+	if !env.mu.TryLock() {
+		env = newScalarVerifyEnv()
+		env.mu.Lock()
+	}
+	defer env.mu.Unlock()
+	n := cg.N()
+	env.acquire(width, n)
+	env.cg, env.ch, env.st = cg, ch, st
+	env.stop.Store(int64(n))
+	env.hasBest = false
+	env.pool.Run(n, width, env.body)
+	var best *Violation
+	if env.hasBest {
+		v := env.best
+		best = &v
+	}
+	env.cg, env.ch = nil, nil
 	return best
 }
 
@@ -198,6 +251,18 @@ type profAcc struct {
 
 func newProfAcc(n int) *profAcc {
 	return &profAcc{num: make([]int64, n+1)}
+}
+
+// reset clears the accumulator for reuse over graphs with up to n
+// vertices — the pooled per-worker accumulators of the batched
+// profile fan-out are reset per run, not reallocated.
+func (a *profAcc) reset(n int) {
+	a.pairs, a.maxAdd, a.maxStretch = 0, 0, 0
+	if len(a.num) < n+1 {
+		a.num = make([]int64, n+1)
+		return
+	}
+	clear(a.num)
 }
 
 // add records one (d_G, d_H) pair with d_G ≥ 2 and d_H reachable.

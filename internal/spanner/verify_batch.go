@@ -3,11 +3,11 @@ package spanner
 import (
 	"math"
 	"math/bits"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"remspan/internal/graph"
+	"remspan/internal/sched"
 )
 
 // Word-parallel verification: all-pairs remote-spanner checking on the
@@ -121,16 +121,16 @@ func floorDiv(a, b int64) int64 {
 	return q
 }
 
-// verifyWorkers sizes the batch pool.
-func verifyWorkers(batches int) int {
-	w := runtime.GOMAXPROCS(0)
-	if w > batches {
-		w = batches
+// batchSpan sizes shards for batch-grained fan-outs: one item is a
+// 64-source sweep (orders of magnitude heavier than one vertex), so
+// shards shrink to single batches rather than sched's vertex-grained
+// floor, keeping stealable slack even when batches are few.
+func batchSpan(batches, width int) int {
+	span := batches / (width * 8)
+	if span < 1 {
+		span = 1
 	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return span
 }
 
 // delivery is one buffered G-sweep first-visit event awaiting its
@@ -265,9 +265,94 @@ func (cs *checkScan) resolve(sources []int32) (u, v int, dg int32) {
 	return int(sources[bestI]), int(cs.minV[bestI]), cs.minDG[bestI]
 }
 
+// judgeWorker is one pooled worker slot of the lockstep-judge
+// fan-out: the O(n) judge and its miss scan survive across calls,
+// regrown only when the vertex count does.
+type judgeWorker struct {
+	n     int
+	judge *ViewJudge
+	cs    checkScan
+	miss  func(bit int, v int32, dg int32) // bound once, reused across batches
+}
+
+// judgeEnv is the reusable environment of JudgeViews' shard fan-out
+// over ball-clustered batches, mirroring buildEnv: one shared
+// instance, transient fallback when busy.
+type judgeEnv struct {
+	mu      sync.Mutex
+	pool    sched.Pool
+	order   *graph.BatchOrderScratch
+	workers []*judgeWorker
+
+	// Per-run job, set under mu.
+	cg, ch           *graph.CSR
+	srcOrder, starts []int32
+	minU, thr        []int32
+	// Smallest violating source seen so far: batches whose smallest
+	// source exceeds it cannot improve the lexicographic minimum and
+	// are skipped (see the determinism contract above).
+	bestU  atomic.Int64
+	resMu  sync.Mutex
+	bu, bv int
+	bdg    int32
+
+	body func(w, lo, hi int)
+}
+
+func newJudgeEnv() *judgeEnv {
+	e := &judgeEnv{order: graph.NewBatchOrderScratch()}
+	e.body = e.shard
+	return e
+}
+
+var sharedJudgeEnv = newJudgeEnv()
+
+//remspan:hotpath
+func (e *judgeEnv) shard(w, lo, hi int) {
+	jw := e.workers[w]
+	for b := lo; b < hi; b++ {
+		if int64(e.minU[b]) > e.bestU.Load() {
+			continue
+		}
+		sources := e.srcOrder[e.starts[b]:e.starts[b+1]]
+		jw.cs.found = 0
+		jw.judge.Run(e.cg, e.ch, sources, e.thr, jw.miss)
+		if jw.cs.found == 0 {
+			continue
+		}
+		cu, cv, cdg := jw.cs.resolve(sources)
+		for {
+			cur := e.bestU.Load()
+			if int64(cu) >= cur || e.bestU.CompareAndSwap(cur, int64(cu)) {
+				break
+			}
+		}
+		e.resMu.Lock()
+		if e.bu < 0 || cu < e.bu || (cu == e.bu && cv < e.bv) {
+			e.bu, e.bv, e.bdg = cu, cv, cdg
+		}
+		e.resMu.Unlock()
+	}
+}
+
+func (e *judgeEnv) acquire(width, n int) {
+	for len(e.workers) < width {
+		e.workers = append(e.workers, &judgeWorker{})
+	}
+	for _, jw := range e.workers[:width] {
+		if jw.judge == nil || jw.n < n {
+			jw.judge = NewViewJudge(n)
+			jw.n = n
+		}
+		if jw.miss == nil {
+			jw.miss = jw.cs.miss
+		}
+	}
+}
+
 // JudgeViews runs the deadline-lockstep judge over every
-// ball-clustered 64-source batch with a worker pool and returns the
-// lexicographically smallest pair violating the stretch in the
+// ball-clustered 64-source batch on the shard scheduler and returns
+// the lexicographically smallest pair violating the stretch in the
 // augmented views (ok=false when the guarantee holds everywhere).
 // Preconditions: ch ⊆ cg (no underestimates to catch — the judge only
 // tests the upper bound) and a stretch with positive denominators and
@@ -275,59 +360,35 @@ func (cs *checkScan) resolve(sources []int32) (u, v int, dg int32) {
 // guard and fall back to a scalar pass. The shared engine behind both
 // spanner.Check and oracle.Validate.
 func JudgeViews(cg, ch *graph.CSR, st Stretch) (u, v int, dg int32, ok bool) {
-	n := cg.N()
-	order, starts := graph.BatchOrder(cg)
-	nb := len(starts) - 1
-	minU := batchMinSource(order, starts)
-	thr := StretchThresholds(st, n)
-	workers := verifyWorkers(nb)
-	var next atomic.Int64
-	// Smallest violating source seen so far: batches whose smallest
-	// source exceeds it cannot improve the lexicographic minimum and
-	// are skipped (see the determinism contract above).
-	var bestU atomic.Int64
-	bestU.Store(int64(n))
-	var mu sync.Mutex
-	bu, bv, bdg := -1, -1, int32(0)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			judge := NewViewJudge(n)
-			var cs checkScan
-			miss := cs.miss // one bound method value per worker, reused across batches
-			for {
-				b := next.Add(1) - 1
-				if b >= int64(nb) {
-					return
-				}
-				if int64(minU[b]) > bestU.Load() {
-					continue
-				}
-				sources := order[starts[b]:starts[b+1]]
-				cs.found = 0
-				judge.Run(cg, ch, sources, thr, miss)
-				if cs.found == 0 {
-					continue
-				}
-				cu, cv, cdg := cs.resolve(sources)
-				for {
-					cur := bestU.Load()
-					if int64(cu) >= cur || bestU.CompareAndSwap(cur, int64(cu)) {
-						break
-					}
-				}
-				mu.Lock()
-				if bu < 0 || cu < bu || (cu == bu && cv < bv) {
-					bu, bv, bdg = cu, cv, cdg
-				}
-				mu.Unlock()
-			}
-		}()
+	return judgeViewsWidth(cg, ch, st, 0)
+}
+
+// judgeViewsWidth is JudgeViews with an explicit worker count
+// (width ≤ 0 means sized to the batch count) — the determinism tests'
+// entry point.
+func judgeViewsWidth(cg, ch *graph.CSR, st Stretch, width int) (u, v int, dg int32, ok bool) {
+	env := sharedJudgeEnv
+	if !env.mu.TryLock() {
+		env = newJudgeEnv()
+		env.mu.Lock()
 	}
-	wg.Wait()
-	return bu, bv, bdg, bu >= 0
+	defer env.mu.Unlock()
+	n := cg.N()
+	env.srcOrder, env.starts = env.order.Order(cg)
+	nb := len(env.starts) - 1
+	if width <= 0 {
+		width = sched.Workers(nb)
+	}
+	env.acquire(width, n)
+	env.cg, env.ch = cg, ch
+	env.minU = batchMinSource(env.srcOrder, env.starts)
+	env.thr = StretchThresholds(st, n)
+	env.bestU.Store(int64(n))
+	env.bu, env.bv, env.bdg = -1, -1, 0
+	env.pool.RunSpan(nb, width, batchSpan(nb, width), env.body)
+	u, v, dg = env.bu, env.bv, env.bdg
+	env.cg, env.ch, env.srcOrder, env.starts, env.minU, env.thr = nil, nil, nil, nil, nil, nil
+	return u, v, dg, u >= 0
 }
 
 // checkBatchedCSR is Check on the word-parallel engine, resolving the
@@ -342,28 +403,62 @@ func checkBatchedCSR(cg, ch *graph.CSR, st Stretch) *Violation {
 	return &Violation{U: u, V: v, DG: int(dg), DH: dhField(vs.BFSCSR(cg, ch, u)[v]), K: 1}
 }
 
-// measureBatchedCSR is MeasureProfile on the word-parallel engine. The
-// H-sweep records distance rows (the profile needs the values); the
-// G-sweep streams first visits into a per-worker profAcc. Accumulation
-// and merge are order-independent, so the result is bit-identical to
-// the scalar reference.
-func measureBatchedCSR(cg, ch *graph.CSR) Profile {
-	n := cg.N()
-	order, starts := graph.BatchOrder(cg)
-	nb := len(starts) - 1
-	workers := verifyWorkers(nb)
-	accs := make([]*profAcc, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			gbs := graph.NewBitScratchMasks(n)
-			hbs := graph.NewBitScratch(n)
-			acc := newProfAcc(n)
-			accs[w] = acc
-			visit := func(v int32, newBits uint64, dg int32) {
+// measureWorker is one pooled worker slot of the profile fan-out:
+// both bit-sweep scratches, the order-independent accumulator, and a
+// visit closure bound to them, all retained across calls.
+type measureWorker struct {
+	n     int
+	gbs   *graph.BitScratch
+	hbs   *graph.BitScratch
+	acc   *profAcc
+	visit func(v int32, newBits uint64, dg int32)
+}
+
+// measureEnv is the reusable environment of measureBatchedCSR's shard
+// fan-out, mirroring buildEnv: one shared instance, transient
+// fallback when busy.
+type measureEnv struct {
+	mu      sync.Mutex
+	pool    sched.Pool
+	order   *graph.BatchOrderScratch
+	workers []*measureWorker
+
+	// Per-run job, set under mu.
+	cg, ch           *graph.CSR
+	srcOrder, starts []int32
+
+	body func(w, lo, hi int)
+}
+
+func newMeasureEnv() *measureEnv {
+	e := &measureEnv{order: graph.NewBatchOrderScratch()}
+	e.body = e.shard
+	return e
+}
+
+var sharedMeasureEnv = newMeasureEnv()
+
+//remspan:hotpath
+func (e *measureEnv) shard(w, lo, hi int) {
+	mw := e.workers[w]
+	for b := lo; b < hi; b++ {
+		sources := e.srcOrder[e.starts[b]:e.starts[b+1]]
+		SweepViewBatch(mw.hbs, e.cg, e.ch, sources)
+		mw.gbs.SweepSourcesVisit(e.cg, sources, mw.visit)
+	}
+}
+
+func (e *measureEnv) acquire(width, n int) {
+	for len(e.workers) < width {
+		e.workers = append(e.workers, &measureWorker{acc: &profAcc{}})
+	}
+	for _, mw := range e.workers[:width] {
+		if mw.gbs == nil || mw.n < n {
+			mw.gbs = graph.NewBitScratchMasks(n)
+			mw.hbs = graph.NewBitScratch(n)
+			mw.n = n
+			hbs, acc := mw.hbs, mw.acc
+			mw.visit = func(v int32, newBits uint64, dg int32) {
 				if dg < 2 {
 					return
 				}
@@ -373,21 +468,44 @@ func measureBatchedCSR(cg, ch *graph.CSR) Profile {
 					acc.add(dg, hrow[bits.TrailingZeros64(bm)])
 				}
 			}
-			for {
-				b := next.Add(1) - 1
-				if b >= int64(nb) {
-					return
-				}
-				sources := order[starts[b]:starts[b+1]]
-				SweepViewBatch(hbs, cg, ch, sources)
-				gbs.SweepSourcesVisit(cg, sources, visit)
-			}
-		}(w)
+		}
+		mw.acc.reset(n)
 	}
-	wg.Wait()
-	total := accs[0]
-	for _, a := range accs[1:] {
-		total.merge(a)
+}
+
+// measureBatchedCSR is MeasureProfile on the word-parallel engine. The
+// H-sweep records distance rows (the profile needs the values); the
+// G-sweep streams first visits into a per-worker profAcc. Accumulation
+// is order-independent and the merge runs in ascending worker order,
+// so the result is bit-identical to the scalar reference at every
+// width.
+func measureBatchedCSR(cg, ch *graph.CSR) Profile {
+	return measureBatchedCSRWidth(cg, ch, 0)
+}
+
+// measureBatchedCSRWidth is measureBatchedCSR with an explicit worker
+// count (width ≤ 0 means sized to the batch count) — the determinism
+// tests' entry point.
+func measureBatchedCSRWidth(cg, ch *graph.CSR, width int) Profile {
+	env := sharedMeasureEnv
+	if !env.mu.TryLock() {
+		env = newMeasureEnv()
+		env.mu.Lock()
+	}
+	defer env.mu.Unlock()
+	n := cg.N()
+	env.srcOrder, env.starts = env.order.Order(cg)
+	nb := len(env.starts) - 1
+	if width <= 0 {
+		width = sched.Workers(nb)
+	}
+	env.acquire(width, n)
+	env.cg, env.ch = cg, ch
+	env.pool.RunSpan(nb, width, batchSpan(nb, width), env.body)
+	env.cg, env.ch, env.srcOrder, env.starts = nil, nil, nil, nil
+	total := env.workers[0].acc
+	for _, mw := range env.workers[1:width] {
+		total.merge(mw.acc)
 	}
 	return total.profile()
 }

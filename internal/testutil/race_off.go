@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// raceEnabled reports whether this binary was built with -race; see
+// PinAllocs for why allocation pins skip themselves under the
+// detector.
+const raceEnabled = false
