@@ -1,6 +1,6 @@
 // Command remspanlint is the repo's invariant checker: a multichecker
 // over the internal/analysis suite (hotalloc, scratchescape, rcupub,
-// detrand).
+// detrand, hotcall, shardbody, lockpair).
 //
 // It runs in two modes:
 //
@@ -25,6 +25,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -41,10 +42,14 @@ import (
 
 	"remspan/internal/analysis"
 	"remspan/internal/analysis/detrand"
+	"remspan/internal/analysis/facts"
 	"remspan/internal/analysis/hotalloc"
+	"remspan/internal/analysis/hotcall"
 	"remspan/internal/analysis/load"
+	"remspan/internal/analysis/lockpair"
 	"remspan/internal/analysis/rcupub"
 	"remspan/internal/analysis/scratchescape"
+	"remspan/internal/analysis/shardbody"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -52,6 +57,9 @@ var analyzers = []*analysis.Analyzer{
 	scratchescape.Analyzer,
 	rcupub.Analyzer,
 	detrand.Analyzer,
+	hotcall.Analyzer,
+	shardbody.Analyzer,
+	lockpair.Analyzer,
 }
 
 func main() {
@@ -61,9 +69,12 @@ func main() {
 	args := os.Args[1:]
 	for _, a := range args {
 		// The go command fingerprints vet tools by running `tool
-		// -V=full` and requires `name version fingerprint` on stdout.
+		// -V=full` and uses the whole `name version fingerprint` line
+		// as the cache key for diagnostics and vetx facts, so the
+		// fingerprint embeds a hash of this very binary: rebuilding
+		// the tool invalidates cached results.
 		if a == "-V=full" || a == "--V=full" {
-			fmt.Println("remspanlint version remspan-suite-1")
+			fmt.Printf("remspanlint version remspan-suite-2-%s\n", selfID())
 			return
 		}
 		// The go command also probes `tool -flags` for the JSON list
@@ -84,6 +95,26 @@ func main() {
 	standalone(args)
 }
 
+// selfID hashes the running executable. Any rebuild of the tool —
+// analyzer change, corpus-driven fix, toolchain bump — yields a new
+// vet fingerprint without anyone remembering to bump a constant.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unhashed"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unhashed"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unhashed"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: remspanlint [packages]   (or via go vet -vettool=remspanlint)\n\nanalyzers:\n")
 	for _, a := range analyzers {
@@ -98,11 +129,18 @@ type diag struct {
 	d        analysis.Diagnostic
 }
 
-// runAll applies every analyzer to one type-checked package and
-// returns the findings in position order.
-func runAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diag {
+// runAll applies the suite to one type-checked package. deps maps each
+// dependency's import path to its decoded fact envelope; exports, when
+// non-nil, collects the blobs this package's fact-exporting analyzers
+// produce. When factsOnly is set the package is a dependency unit:
+// only fact-exporting analyzers run, and their diagnostics (already
+// reported when the dependency itself was the target) are discarded.
+func runAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps map[string]facts.Envelope, exports facts.Envelope, factsOnly bool) []diag {
 	var out []diag
 	for _, a := range analyzers {
+		if factsOnly && !a.ExportsFacts {
+			continue
+		}
 		name := a.Name
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -113,10 +151,21 @@ func runAll(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *ty
 			Report: func(d analysis.Diagnostic) {
 				out = append(out, diag{analyzer: name, d: d})
 			},
+			ImportFacts: func(path string) []byte {
+				return deps[path][name]
+			},
+			ExportFacts: func(data []byte) {
+				if exports != nil {
+					exports[name] = data
+				}
+			},
 		}
 		if _, err := a.Run(pass); err != nil {
 			log.Fatalf("analyzer %s: %v", a.Name, err)
 		}
+	}
+	if factsOnly {
+		return nil
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].d.Pos < out[j].d.Pos })
 	return out
@@ -138,9 +187,14 @@ func standalone(patterns []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// `go list -deps` order is dependency-first, so every package's
+	// fact envelope is in the store before its dependents run.
+	store := make(map[string]facts.Envelope)
 	exit := 0
 	for _, p := range pkgs {
-		diags := runAll(p.Fset, p.Files, p.Types, p.Info)
+		exports := facts.Envelope{}
+		diags := runAll(p.Fset, p.Files, p.Types, p.Info, store, exports, p.FactsOnly)
+		store[p.ImportPath] = exports
 		if len(diags) > 0 {
 			exit = 2
 			printDiags(p.Fset, diags)
@@ -188,16 +242,13 @@ func unitCheck(cfgFile string) {
 		log.Fatalf("parsing %s: %v", cfgFile, err)
 	}
 
-	// The go command caches the (empty: this suite keeps no facts)
-	// vetx artifact and requires it to exist even on failure paths.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			log.Fatal(err)
-		}
-	}
-	// Dependency units are facts-only requests; with no facts to
-	// compute there is nothing to do.
-	if cfg.VetxOnly {
+	// The go command caches the vetx artifact and requires it to exist
+	// even on failure paths, so every early return below writes one.
+	// Standard-library units export no facts for this suite (the
+	// standalone driver never loads them from source either, keeping
+	// the two modes in agreement), so their artifact is always empty.
+	if cfg.isStdUnit() {
+		writeVetx(cfg.VetxOutput, nil)
 		return
 	}
 
@@ -206,7 +257,8 @@ func unitCheck(cfgFile string) {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
+			if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+				writeVetx(cfg.VetxOutput, nil)
 				return
 			}
 			log.Fatal(err)
@@ -225,16 +277,65 @@ func unitCheck(cfgFile string) {
 	info := analysis.NewInfo()
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			writeVetx(cfg.VetxOutput, nil)
 			return
 		}
 		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags := runAll(fset, files, pkg, info)
+	// PackageVetx lists the fact files of every dependency unit the go
+	// command has already scheduled; decode them up front so analyzers
+	// can look facts up by import path.
+	deps := make(map[string]facts.Envelope, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("reading facts of %s: %v", path, err)
+		}
+		env, err := facts.DecodeEnvelope(data)
+		if err != nil {
+			log.Fatalf("facts of %s: %v", path, err)
+		}
+		deps[path] = env
+	}
+
+	exports := facts.Envelope{}
+	diags := runAll(fset, files, pkg, info, deps, exports, cfg.VetxOnly)
+	writeVetx(cfg.VetxOutput, exports)
 	if len(diags) > 0 {
 		printDiags(fset, diags)
 		os.Exit(2)
+	}
+}
+
+// isStdUnit reports whether the unit under analysis is itself a
+// standard-library package. cmd/go's Standard map covers only the
+// unit's *dependencies*, never the unit itself, so the unit's own
+// origin is judged by whether its sources live under GOROOT.
+func (cfg *vetConfig) isStdUnit() bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	goroot := runtime.GOROOT()
+	if goroot == "" || len(cfg.GoFiles) == 0 {
+		return false
+	}
+	return strings.HasPrefix(cfg.GoFiles[0], goroot+string(os.PathSeparator))
+}
+
+// writeVetx persists one unit's fact envelope where the go command
+// expects its vetx artifact.
+func writeVetx(path string, env facts.Envelope) {
+	if path == "" {
+		return
+	}
+	data, err := facts.EncodeEnvelope(env)
+	if err != nil {
+		log.Fatalf("encoding facts: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		log.Fatal(err)
 	}
 }
 

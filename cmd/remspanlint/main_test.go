@@ -37,9 +37,25 @@ func TestVersionHandshake(t *testing.T) {
 	}
 }
 
+// corpusWants is one expected substring per analyzer, plus the
+// cross-package hotcall chain: helper.Grow lives in a different
+// package than its hotpath caller, so seeing it named in the
+// diagnostic proves facts crossed the package boundary.
+var corpusWants = []string{
+	"(hotalloc)",
+	"(scratchescape)",
+	"(rcupub)",
+	"(detrand)",
+	"(hotcall)",
+	"(shardbody)",
+	"(lockpair)",
+	"call to badcorpus/helper.Grow allocates in hot path",
+}
+
 // TestVettoolGateFiresOnBadCorpus proves the CI gate end to end: `go
 // vet -vettool=remspanlint` over the seeded known-bad corpus must fail
-// and must surface one diagnostic from each of the four analyzers.
+// and must surface one diagnostic from each of the seven analyzers,
+// including the fact-propagated cross-package hotcall finding.
 func TestVettoolGateFiresOnBadCorpus(t *testing.T) {
 	bin := buildLint(t)
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
@@ -49,12 +65,7 @@ func TestVettoolGateFiresOnBadCorpus(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool exited clean on the bad corpus:\n%s", out)
 	}
-	for _, want := range []string{
-		"(hotalloc)",
-		"(scratchescape)",
-		"(rcupub)",
-		"(detrand)",
-	} {
+	for _, want := range corpusWants {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("bad corpus vet output is missing a %s diagnostic:\n%s", want, out)
 		}
@@ -72,7 +83,7 @@ func TestStandaloneModeFiresOnBadCorpus(t *testing.T) {
 	if err == nil {
 		t.Fatalf("standalone remspanlint exited clean on the bad corpus:\n%s", out)
 	}
-	for _, want := range []string{"(hotalloc)", "(scratchescape)", "(rcupub)", "(detrand)"} {
+	for _, want := range corpusWants {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("bad corpus standalone output is missing a %s diagnostic:\n%s", want, out)
 		}

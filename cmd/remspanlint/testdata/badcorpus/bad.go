@@ -7,8 +7,11 @@
 package badcorpus
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"badcorpus/helper"
 )
 
 // RowScratch mimics the repo's epoch-stamped scratch buffers.
@@ -42,4 +45,46 @@ func pub(b *box) {
 // stamp violates detrand: wall-clock reads in a deterministic package.
 func stamp() int64 {
 	return time.Now().UnixNano()
+}
+
+// hotCross violates hotcall: the hot path calls an allocating helper
+// that lives in a different package, so the diagnostic only fires if
+// helper's summary crossed the package boundary as a fact.
+//
+//remspan:hotpath
+func hotCross(n int) []int32 {
+	return helper.Grow(n)
+}
+
+// pool mimics sched.Pool closely enough for shardbody's shape match
+// (a Run method handed a func(w, lo, hi int) literal).
+type pool struct{}
+
+func (pool) Run(items, width int, body func(w, lo, hi int)) {}
+
+// shardRace violates shardbody: the shard body writes a captured
+// scalar without atomics, a worker slot, or a span-derived index.
+func shardRace(items int) int {
+	total := 0
+	var p pool
+	p.Run(items, 4, func(w, lo, hi int) {
+		total += hi - lo
+	})
+	return total
+}
+
+type locked struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockLeak violates lockpair: the early return still holds the lock.
+func lockLeak(l *locked, cond bool) int {
+	l.mu.Lock()
+	if cond {
+		return 0
+	}
+	v := l.n
+	l.mu.Unlock()
+	return v
 }

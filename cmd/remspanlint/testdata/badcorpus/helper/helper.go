@@ -1,0 +1,11 @@
+// Package helper supplies the allocating callee the hotcall self-test
+// reaches across a package boundary: its summary must travel through
+// the vetx fact envelope (or the standalone in-memory store) for the
+// diagnostic on the caller in the parent package to fire.
+package helper
+
+// Grow allocates and carries no annotation, so a hotpath caller in
+// the parent package must be flagged through imported facts alone.
+func Grow(n int) []int32 {
+	return make([]int32, n)
+}

@@ -38,6 +38,15 @@ type Analyzer struct {
 	// the current drivers) or an error for an internal failure — an
 	// error fails the whole lint run, it is not a diagnostic.
 	Run func(pass *Pass) (interface{}, error)
+
+	// ExportsFacts marks an analyzer that summarizes each package into
+	// a fact blob (via Pass.WriteFacts) consumed when analyzing its
+	// dependents. Drivers run fact-exporting analyzers on dependency
+	// packages too — with diagnostics discarded — so summaries exist
+	// before any dependent is checked; under `go vet -vettool` the
+	// blobs round-trip through the vetx files the go command threads
+	// between units.
+	ExportsFacts bool
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -55,11 +64,40 @@ type Pass struct {
 	// Report delivers one finding. Drivers install it; analyzers call
 	// it (or the Reportf helper) any number of times.
 	Report func(Diagnostic)
+
+	// ImportFacts returns the fact blob this pass's analyzer exported
+	// for the named dependency package, or nil when the dependency has
+	// none (stdlib and other out-of-module packages are never
+	// summarized, so their absence is normal, not an error). Nil when
+	// the driver does not thread facts.
+	ImportFacts func(path string) []byte
+
+	// ExportFacts delivers this package's fact blob for the pass's
+	// analyzer to the driver, which persists it for dependent units
+	// (the vetx file under `go vet -vettool`, an in-memory store in
+	// standalone and analysistest runs). Nil when the driver does not
+	// thread facts.
+	ExportFacts func(data []byte)
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReadFacts is ImportFacts with a nil-driver guard.
+func (p *Pass) ReadFacts(path string) []byte {
+	if p.ImportFacts == nil {
+		return nil
+	}
+	return p.ImportFacts(path)
+}
+
+// WriteFacts is ExportFacts with a nil-driver guard.
+func (p *Pass) WriteFacts(data []byte) {
+	if p.ExportFacts != nil {
+		p.ExportFacts(data)
+	}
 }
 
 // Diagnostic is one finding: a position in the package and a message.

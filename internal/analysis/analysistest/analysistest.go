@@ -24,7 +24,10 @@ import (
 )
 
 // Run loads the module rooted at dir (patterns ./...) and checks the
-// analyzer's diagnostics against the corpus's want comments.
+// analyzer's diagnostics against the corpus's want comments. Packages
+// arrive in dependency-first order and fact blobs are threaded between
+// them in memory, so corpora exercise cross-package propagation the
+// same way the vetx files do under `go vet -vettool`.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
 	pkgs, err := load.Packages(dir, "./...")
@@ -34,8 +37,12 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if len(pkgs) == 0 {
 		t.Fatalf("corpus %s matched no packages", dir)
 	}
+	store := make(map[string][]byte)
 	for _, pkg := range pkgs {
-		checkPackage(t, a, pkg)
+		if pkg.FactsOnly && !a.ExportsFacts {
+			continue
+		}
+		checkPackage(t, a, pkg, store)
 	}
 }
 
@@ -44,7 +51,7 @@ type lineKey struct {
 	line int
 }
 
-func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package, store map[string][]byte) {
 	t.Helper()
 	diags := make(map[lineKey][]string)
 	pass := &analysis.Pass{
@@ -58,9 +65,17 @@ func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 			k := lineKey{p.Filename, p.Line}
 			diags[k] = append(diags[k], d.Message)
 		},
+		ImportFacts: func(path string) []byte { return store[path] },
+		ExportFacts: func(data []byte) { store[pkg.ImportPath] = data },
 	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer error on %s: %v", a.Name, pkg.ImportPath, err)
+	}
+	if pkg.FactsOnly {
+		// Summaries only: a facts-only dependency is outside the
+		// corpus pattern, its diagnostics (and want comments) are not
+		// part of the golden contract.
+		return
 	}
 
 	wants := make(map[lineKey][]*regexp.Regexp)

@@ -1,0 +1,201 @@
+// Package callgraph builds the package-level static call graph the
+// interprocedural remspanlint analyzers walk: one node per declared
+// function or method, one edge per call site whose callee go/types can
+// pin down without whole-program analysis.
+//
+// Resolution covers:
+//
+//   - direct calls to package-level functions, here or in imported
+//     packages (f(), pkg.F());
+//   - method calls through a static receiver type (x.M() where the
+//     method set member is a concrete *types.Func — interface method
+//     calls stay dynamic);
+//   - function literals invoked in place (func(){...}()) and closures
+//     tracked to their definition: a call through a local variable
+//     that is bound to exactly one literal and never reassigned
+//     resolves to that literal.
+//
+// Function literals are not separate nodes. A literal's body belongs
+// to the declared function it is written in — its call sites become
+// edges of the enclosing declaration — matching how hotalloc already
+// attributes a literal's allocations to the enclosing function. A call
+// resolved to a tracked closure is therefore already covered by the
+// enclosing node's own edges and produces no edge at all, rather than
+// a dynamic one.
+//
+// Everything else — calls through func-typed variables, fields,
+// parameters, and interface methods — is recorded as a dynamic edge
+// (Callee == nil). Analyzers decide their own policy for those;
+// hotcall skips them and documents the soundness limit (the values
+// flowing into such calls are checked at their own definitions when
+// annotated).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"remspan/internal/analysis"
+)
+
+// Edge is one call site inside a node's body. Callee is the resolved
+// static callee — possibly from another package — or nil for a
+// dynamic call no local reasoning can resolve.
+type Edge struct {
+	Site   *ast.CallExpr
+	Callee *types.Func
+}
+
+// Node is one declared function or method of the analyzed package,
+// with its call sites (nested function literals included) in source
+// order.
+type Node struct {
+	Func  *types.Func
+	Decl  *ast.FuncDecl
+	Edges []Edge
+}
+
+// Graph is the call graph of one package.
+type Graph struct {
+	// Nodes holds every declared function of the package in source
+	// order.
+	Nodes []*Node
+	// ByFunc indexes the nodes by their type-checker object, the form
+	// edge targets arrive in.
+	ByFunc map[*types.Func]*Node
+}
+
+// Node returns the graph node for fn, or nil when fn is not declared
+// in the analyzed package (external callees have no node here; their
+// summaries travel as facts).
+func (g *Graph) Node(fn *types.Func) *Node { return g.ByFunc[fn] }
+
+// Build constructs the call graph of the pass's package.
+func Build(pass *analysis.Pass) *Graph {
+	g := &Graph{ByFunc: make(map[*types.Func]*Node)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Func: fn, Decl: fd}
+			n.Edges = collectEdges(pass, fd.Body)
+			g.Nodes = append(g.Nodes, n)
+			g.ByFunc[fn] = n
+		}
+	}
+	return g
+}
+
+// collectEdges resolves every call site under body. Calls through
+// closure-bound locals resolve to literals whose bodies are already
+// under body, so they contribute no edge; truly unresolvable calls
+// become dynamic edges.
+func collectEdges(pass *analysis.Pass, body *ast.BlockStmt) []Edge {
+	bound := closureBindings(pass, body)
+	var edges []Edge
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			switch obj := pass.TypesInfo.Uses[fun].(type) {
+			case *types.Func:
+				edges = append(edges, Edge{Site: call, Callee: obj})
+			case *types.Builtin, *types.TypeName:
+				// builtins and conversions: no callee
+			case *types.Var:
+				if bound[obj] == nil {
+					edges = append(edges, Edge{Site: call}) // dynamic
+				}
+				// else: closure tracked to its definition, whose body
+				// is already attributed to this node
+			default:
+				if _, isType := pass.TypesInfo.Types[fun]; !isType {
+					edges = append(edges, Edge{Site: call})
+				}
+			}
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+				return true // conversion to a named type
+			}
+			if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+				if isInterfaceMethod(fn) {
+					edges = append(edges, Edge{Site: call}) // dynamic dispatch
+				} else {
+					edges = append(edges, Edge{Site: call, Callee: fn})
+				}
+			} else {
+				edges = append(edges, Edge{Site: call}) // func-typed field/var
+			}
+		case *ast.FuncLit:
+			// Invoked in place: the literal's body is under this node
+			// already; no edge.
+		default:
+			if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; !ok || !tv.IsType() {
+				edges = append(edges, Edge{Site: call})
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// closureBindings maps each local variable that is bound to exactly
+// one function literal — and never reassigned anything else — to that
+// literal.
+func closureBindings(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]*ast.FuncLit {
+	bound := make(map[*types.Var]*ast.FuncLit)
+	poisoned := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var v *types.Var
+			if d, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				v = d
+			} else if u, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				v = u
+			}
+			if v == nil {
+				continue
+			}
+			if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); ok {
+				if bound[v] != nil && bound[v] != lit {
+					poisoned[v] = true
+				}
+				bound[v] = lit
+			} else {
+				poisoned[v] = true
+			}
+		}
+		return true
+	})
+	for v := range poisoned {
+		delete(bound, v)
+	}
+	return bound
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface
+// type (its call sites dispatch dynamically).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}

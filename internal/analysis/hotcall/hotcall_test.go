@@ -1,0 +1,12 @@
+package hotcall_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/hotcall"
+)
+
+func TestHotCall(t *testing.T) {
+	analysistest.Run(t, hotcall.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,74 @@
+// Package a exercises hotcall: transitive hotpath propagation through
+// the local call graph and, via package b, across package boundaries.
+package a
+
+import "a/b"
+
+// grow allocates directly: any hotpath caller must be flagged.
+func grow(n int) []int {
+	return make([]int, n)
+}
+
+// mid is clean itself but reaches grow — the chain the diagnostic
+// must print.
+func mid(n int) []int {
+	return grow(n)
+}
+
+// T carries an allocating method for the static-receiver edge.
+type T struct{ buf []int }
+
+func (t *T) fill(n int) {
+	t.buf = make([]int, n)
+}
+
+// coldLocal is allocating but function-level exempt.
+//
+//remspan:coldpath corpus: audited grow helper
+func coldLocal(n int) []int {
+	return make([]int, n)
+}
+
+// hotLeaf is itself hotpath-annotated: hotalloc checks its body, so
+// hot callers do not re-report through it.
+//
+//remspan:hotpath
+func hotLeaf(x int) int {
+	return x + 1
+}
+
+// even/odd form a clean recursion cycle: summarization must
+// terminate and stay clean.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// sink swallows a func value: dynamic calls are not followed.
+func sink(f func(int) []int) { _ = f }
+
+//remspan:hotpath
+func Hot(t *T, n int) int {
+	_ = mid(n)       // want "call to a\\.mid allocates in hot path: a\\.mid → a\\.grow →"
+	_ = b.Helper(n)  // want "call to a/b\\.Helper allocates in hot path: a/b\\.Helper → a/b\\.inner →"
+	t.fill(n)        // want "call to \\(\\*a\\.T\\)\\.fill allocates in hot path"
+	_ = b.Audited(n) // exempt: function-level coldpath fact
+	_ = coldLocal(n) // exempt: function-level coldpath annotation
+	_ = hotLeaf(n)   // exempt: hotpath callee checked at its definition
+	_ = b.Clean(n)   // clean cross-package callee
+	_ = even(n)      // clean recursion cycle
+	sink(grow)       // func value, not a call edge
+	//remspan:coldpath corpus: statement-level exemption covers the call
+	_ = mid(n)
+	f := func() int { return n + 1 }
+	return f() // closure tracked to its definition: body already scanned, no edge
+}

@@ -1,0 +1,28 @@
+// Package b is the cross-package half of the hotcall corpus: its
+// exported helpers allocate (directly or transitively), and the facts
+// store must carry that across the package boundary into a's hotpath
+// callers.
+package b
+
+// Helper is clean itself but reaches an allocation through inner; the
+// exported fact chain is Helper → inner.
+func Helper(n int) []int {
+	return inner(n)
+}
+
+func inner(n int) []int {
+	return make([]int, n)
+}
+
+// Audited is allocating but explicitly exempted: hotpath callers may
+// invoke it freely.
+//
+//remspan:coldpath corpus: documented init-only helper
+func Audited(n int) []int {
+	return make([]int, n)
+}
+
+// Clean never allocates; calling it from a hot path is fine.
+func Clean(x int) int {
+	return x * 2
+}

@@ -33,6 +33,12 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// FactsOnly marks a non-stdlib dependency that was loaded from
+	// source only so fact-exporting analyzers can summarize it before
+	// its dependents are checked; drivers run those analyzers over it
+	// with diagnostics discarded and never report on it directly.
+	FactsOnly bool
 }
 
 // listPackage is the subset of `go list -json` output the loader
@@ -88,7 +94,11 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly && !lp.Standard && len(lp.GoFiles) > 0 {
+		// Non-stdlib dependencies ride along as facts-only loads, in
+		// the dependency-first order `go list -deps` already emits, so
+		// interprocedural summaries exist before any dependent target
+		// is analyzed.
+		if !lp.Standard && len(lp.GoFiles) > 0 {
 			targets = append(targets, lp)
 		}
 	}
@@ -108,6 +118,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = lp.DepOnly
 		out = append(out, pkg)
 	}
 	return out, nil

@@ -1,0 +1,460 @@
+// Package lockpair enforces unlock-on-all-paths: every sync
+// Lock/RLock — and every successful TryLock/TryRLock — acquired in a
+// function must be released on every path out of it, either by a
+// `defer mu.Unlock()` or by an explicit Unlock before each return.
+//
+// The motivating pattern is the pooled-env fallback the shard
+// scheduler call sites use (§3h):
+//
+//	env := sharedBuildEnv
+//	if !env.mu.TryLock() {
+//		env = newBuildEnv()
+//		env.mu.Lock()
+//	}
+//	defer env.mu.Unlock()
+//
+// Every branch of that idiom must end holding exactly one lock and the
+// defer must cover both; a refactor that adds an early return between
+// the TryLock and the defer leaks the shared env and silently degrades
+// every later build to the transient path — a performance bug no test
+// fails on. The race detector never sees it either: nothing races, the
+// lock is just never released.
+//
+// The analysis is a structured walk of each function body (function
+// literals are separate scopes), tracking the held-lock set keyed by
+// the receiver expression's source text ("env.mu", "st.readersMu"),
+// with read locks tracked separately from write locks:
+//
+//   - mu.Lock()/RLock() adds the key; mu.Unlock()/RUnlock() removes
+//     it; `defer mu.Unlock()` (directly or inside a deferred literal)
+//     satisfies the key for the rest of the function;
+//   - `if mu.TryLock() { ... }` holds the key in the then-branch;
+//     `if !mu.TryLock() { ... }` holds it on the fall-through, and the
+//     assigned form `ok := mu.TryLock(); if ok { ... }` resolves the
+//     same way; a TryLock whose result is discarded is itself a
+//     diagnostic (the successful case can never be unlocked);
+//   - a return (or the function end) with a key still held is a leak,
+//     reported with both the acquisition and the exit; branches of an
+//     if/switch that fall through with different held sets are
+//     reported as divergence — conditional locking must resolve
+//     before control flow joins;
+//   - a lock acquired inside a loop body must be released within the
+//     same iteration.
+//
+// A function that intentionally returns holding a lock (a lock-handoff
+// API) opts out with //remspan:lockheld on its declaration. goroutine
+// bodies (`go func(){...}`) and nested literals are separate
+// functions: locks they acquire are theirs to balance.
+package lockpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"remspan/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockpair",
+	Doc:  "every Lock/successful-TryLock must reach an Unlock on all paths (defer or full return coverage)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := analysis.ScanDirectives(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := dirs.Func(fd, analysis.DirLockHeld)
+			checkFunc(pass, fd.Body, exempt)
+			// Nested literals are separate lock scopes (the statement
+			// walker never descends into them), exempted with their
+			// enclosing declaration. Inspect keeps descending, so
+			// literals inside literals each get their own scope too.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, lit.Body, exempt)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// lockKey identifies one lock in one mode: the receiver expression's
+// source text, plus the read/write side of an RWMutex.
+type lockKey struct {
+	recv string
+	read bool
+}
+
+func (k lockKey) String() string {
+	if k.read {
+		return k.recv + " (read lock)"
+	}
+	return k.recv
+}
+
+// held maps the locks currently held to their acquisition positions.
+type held map[lockKey]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	tryVars map[*types.Var]lockKey // ok := mu.TryLock()
+	exempt  bool                   // //remspan:lockheld: returning locked is the contract
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, exempt bool) {
+	c := &checker{pass: pass, tryVars: make(map[*types.Var]lockKey), exempt: exempt}
+	out := c.walkStmts(body.List, make(held))
+	if exempt {
+		return
+	}
+	for k, pos := range out {
+		c.pass.Reportf(pos, "%s is locked here but still held when the function returns (no Unlock or defer on the fall-through path; //remspan:lockheld marks an intentional handoff)", k)
+	}
+}
+
+// op classifies one sync lock call.
+type op struct {
+	key  lockKey
+	kind int // opLock, opUnlock, opTry
+}
+
+const (
+	opLock = iota
+	opUnlock
+	opTry
+)
+
+// lockOp resolves e as a call to a sync locking method and returns
+// its classification. Only methods of package sync count (Mutex,
+// RWMutex, and the Locker interface), so user-defined Lock methods
+// with their own contracts stay out of scope.
+func (c *checker) lockOp(e ast.Expr) (op, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return op{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return op{}, false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return op{}, false
+	}
+	key := lockKey{recv: types.ExprString(sel.X)}
+	switch fn.Name() {
+	case "Lock":
+		return op{key: key, kind: opLock}, true
+	case "Unlock":
+		return op{key: key, kind: opUnlock}, true
+	case "TryLock":
+		return op{key: key, kind: opTry}, true
+	case "RLock":
+		key.read = true
+		return op{key: key, kind: opLock}, true
+	case "RUnlock":
+		key.read = true
+		return op{key: key, kind: opUnlock}, true
+	case "TryRLock":
+		key.read = true
+		return op{key: key, kind: opTry}, true
+	}
+	return op{}, false
+}
+
+// walkStmts threads the held set through a statement list, reporting
+// leaks at exits, and returns the fall-through state.
+func (c *checker) walkStmts(stmts []ast.Stmt, h held) held {
+	for _, s := range stmts {
+		h = c.walkStmt(s, h)
+	}
+	return h
+}
+
+func (c *checker) walkStmt(s ast.Stmt, h held) held {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if o, ok := c.lockOp(s.X); ok {
+			switch o.kind {
+			case opLock:
+				h[o.key] = s.Pos()
+			case opUnlock:
+				delete(h, o.key)
+			case opTry:
+				c.pass.Reportf(s.Pos(), "%s.TryLock result is discarded: a successful acquisition can never be released", o.key.recv)
+			}
+		}
+
+	case *ast.DeferStmt:
+		for _, k := range c.deferredUnlocks(s) {
+			delete(h, k)
+		}
+
+	case *ast.AssignStmt:
+		// ok := mu.TryLock() — remember the binding so a later
+		// `if ok { ... }` resolves to the TryLock branch shape.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if o, ok := c.lockOp(s.Rhs[0]); ok && o.kind == opTry {
+				if id, isID := s.Lhs[0].(*ast.Ident); isID {
+					if v, isVar := c.varOf(id); isVar {
+						c.tryVars[v] = o.key
+					}
+				}
+			}
+		}
+
+	case *ast.IfStmt:
+		return c.walkIf(s, h)
+
+	case *ast.ReturnStmt:
+		if !c.exempt {
+			for k, pos := range h {
+				c.pass.Reportf(s.Pos(), "return while %s is still held (locked at %s): missing Unlock or defer on this path", k, c.pass.Fset.Position(pos))
+			}
+		}
+		return make(held)
+
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, h)
+
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, h)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h = c.walkStmt(s.Init, h)
+		}
+		c.walkLoopBody(s.Body, h)
+
+	case *ast.RangeStmt:
+		c.walkLoopBody(s.Body, h)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		c.walkBranches(s, h)
+
+	case *ast.GoStmt:
+		// A spawned goroutine is its own lock scope (its literal body
+		// is checked as a separate function).
+	}
+	return h
+}
+
+// walkIf handles the TryLock conditional shapes and ordinary ifs,
+// merging the branch fall-through states.
+func (c *checker) walkIf(s *ast.IfStmt, h held) held {
+	if s.Init != nil {
+		h = c.walkStmt(s.Init, h)
+	}
+
+	thenH, elseH := h.clone(), h.clone()
+	if key, onThen, ok := c.condTryLock(s.Cond); ok {
+		if onThen {
+			thenH[key] = s.Cond.Pos()
+		} else {
+			elseH[key] = s.Cond.Pos()
+		}
+	}
+
+	thenOut := c.walkStmts(s.Body.List, thenH)
+	var elseOut held
+	switch e := s.Else.(type) {
+	case nil:
+		elseOut = elseH
+	case *ast.BlockStmt:
+		elseOut = c.walkStmts(e.List, elseH)
+	case *ast.IfStmt:
+		elseOut = c.walkIf(e, elseH)
+	default:
+		elseOut = elseH
+	}
+
+	switch {
+	case terminates(s.Body):
+		return elseOut
+	case s.Else != nil && terminates(s.Else):
+		return thenOut
+	}
+	// Both branches fall through: they must agree on what is held, or
+	// the join point has a lock held on only some paths.
+	out := make(held)
+	for k, pos := range thenOut {
+		if _, ok := elseOut[k]; ok {
+			out[k] = pos
+		} else {
+			c.pass.Reportf(pos, "%s is held on only some paths after the enclosing if: release it in every branch or defer the Unlock", k)
+		}
+	}
+	for k, pos := range elseOut {
+		if _, ok := thenOut[k]; !ok {
+			c.pass.Reportf(pos, "%s is held on only some paths after the enclosing if: release it in every branch or defer the Unlock", k)
+		}
+	}
+	return out
+}
+
+// condTryLock matches the conditional TryLock shapes: mu.TryLock(),
+// !mu.TryLock(), a bound result variable, or its negation. onThen
+// reports which branch holds the lock.
+func (c *checker) condTryLock(cond ast.Expr) (lockKey, bool, bool) {
+	cond = ast.Unparen(cond)
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		key, onThen, ok := c.condTryLock(u.X)
+		return key, !onThen, ok
+	}
+	if o, ok := c.lockOp(cond); ok && o.kind == opTry {
+		return o.key, true, true
+	}
+	if id, ok := cond.(*ast.Ident); ok {
+		if v, isVar := c.varOf(id); isVar {
+			if key, bound := c.tryVars[v]; bound {
+				return key, true, true
+			}
+		}
+	}
+	return lockKey{}, false, false
+}
+
+// walkLoopBody checks one loop iteration in isolation: anything
+// acquired inside must be released inside (a lock cannot be carried
+// across iterations without deadlocking on the second pass), and the
+// surrounding held set is left untouched (the loop may run zero
+// times).
+func (c *checker) walkLoopBody(body *ast.BlockStmt, h held) {
+	out := c.walkStmts(body.List, h.clone())
+	for k, pos := range out {
+		if _, outer := h[k]; !outer {
+			c.pass.Reportf(pos, "%s is locked inside a loop body without an Unlock in the same iteration", k)
+		}
+	}
+}
+
+// walkBranches checks switch/select clause bodies independently; each
+// fall-through clause must leave the held set as it found it.
+func (c *checker) walkBranches(s ast.Stmt, h held) {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			h = c.walkStmt(s.Init, h)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			body = cl.Body
+		case *ast.CommClause:
+			body = cl.Body
+		}
+		out := c.walkStmts(body, h.clone())
+		if len(body) > 0 && terminates(body[len(body)-1]) {
+			continue
+		}
+		for k, pos := range out {
+			if _, outer := h[k]; !outer {
+				c.pass.Reportf(pos, "%s is held on only some paths after the enclosing switch: release it in every case or defer the Unlock", k)
+			}
+		}
+	}
+}
+
+// deferredUnlocks returns the keys a defer statement releases: a
+// direct `defer mu.Unlock()`, or every Unlock inside a deferred
+// function literal.
+func (c *checker) deferredUnlocks(s *ast.DeferStmt) []lockKey {
+	if o, ok := c.lockOp(s.Call); ok && o.kind == opUnlock {
+		return []lockKey{o.key}
+	}
+	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []lockKey
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if o, ok := c.lockOp(call); ok && o.kind == opUnlock {
+				keys = append(keys, o.key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+func (c *checker) varOf(id *ast.Ident) (*types.Var, bool) {
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// terminates reports whether control cannot fall out of s: it ends in
+// a return, a panic-like call, or a branch statement that leaves the
+// enclosing join.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicky(s.X)
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	case *ast.ForStmt:
+		return s.Cond == nil // `for { ... }` without cond never falls through
+	}
+	return false
+}
+
+// isPanicky matches panic(...) and the conventional process-exit
+// calls.
+func isPanicky(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			full := pkg.Name + "." + fun.Sel.Name
+			switch full {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true // testing.TB-style terminators
+			}
+		}
+	}
+	return false
+}

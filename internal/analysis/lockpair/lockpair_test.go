@@ -1,0 +1,12 @@
+package lockpair_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/lockpair"
+)
+
+func TestLockPair(t *testing.T) {
+	analysistest.Run(t, lockpair.Analyzer, "testdata/src/a")
+}

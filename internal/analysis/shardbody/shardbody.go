@@ -1,0 +1,382 @@
+// Package shardbody checks the write discipline of shard bodies: a
+// function literal passed to sched.Pool.Run / sched.Pool.RunSpan /
+// sched.Reducer.Map runs concurrently on many workers over disjoint
+// [lo, hi) spans, so it may write captured state only in ways the
+// schedule cannot race on:
+//
+//   - per-worker slots: an access path indexed by the worker argument
+//     w (or a local derived from it) — e.workers[w].n = ...;
+//   - span-disjoint slots: indexed by lo/hi or a local derived from
+//     them — for u := lo; u < hi; u++ { e.sizes[u] = ... };
+//   - sync/atomic operations (method calls are not assignments, so
+//     they pass untouched — pair them with rcupub's field rules).
+//
+// Any other write to captured state — a plain captured scalar, a
+// fixed index (i := 0), a range index over the whole captured slice,
+// a write through an alias of captured state taken without a
+// worker/span index — is a data race the race detector only catches
+// when two workers happen to collide during a sampled run. shardbody
+// rejects it statically.
+//
+// Call sites are recognized by shape, not import path: a call to a
+// method named Run, RunSpan, or Map passing a function literal whose
+// signature starts with three int parameters (w, lo, hi). This keeps
+// the check testable from corpora that mimic the scheduler API and
+// future-proof against the pool moving packages. Only literal
+// arguments are analyzed: prebound bodies (the shared envs' e.body
+// method values) are ordinary functions that hotalloc/hotcall cover
+// at their definitions, where the same slot conventions are pinned by
+// the sched-equivalence tests.
+//
+// //remspan:shardok on a statement (same line or the line above)
+// exempts its subtree: the audited cross-shard write whose safety
+// argument lives in the comment.
+package shardbody
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"remspan/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardbody",
+	Doc:  "shard bodies may write captured state only via worker-index/span-derived slots or atomics",
+	Run:  run,
+}
+
+// schedMethods are the scheduler entry points whose literal arguments
+// are shard bodies.
+var schedMethods = map[string]bool{"Run": true, "RunSpan": true, "Map": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := analysis.ScanDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !schedMethods[sel.Sel.Name] {
+				return true
+			}
+			if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok && isShardSig(pass, lit) {
+					checkBody(pass, dirs, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isShardSig reports whether lit's signature starts with three int
+// parameters — the (w, lo, hi) shape of Pool.Run bodies and the
+// (w, lo, hi) R shape of Reducer.Map bodies.
+func isShardSig(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 3 {
+		return false
+	}
+	for i := 0; i < 3; i++ {
+		b, ok := sig.Params().At(i).Type().Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Int {
+			return false
+		}
+	}
+	return true
+}
+
+type span struct{ pos, end token.Pos }
+
+// checker analyzes one shard body literal.
+type checker struct {
+	pass *analysis.Pass
+	lit  *ast.FuncLit
+	ok   []span // //remspan:shardok statement subtrees
+
+	derived map[*types.Var]bool // safe index sources: w/lo/hi and derivations
+	shared  map[*types.Var]bool // local aliases of captured reference state
+	params  map[*types.Var]bool // the literal's own (w, lo, hi) parameters
+}
+
+func checkBody(pass *analysis.Pass, dirs *analysis.Directives, lit *ast.FuncLit) {
+	c := &checker{
+		pass:    pass,
+		lit:     lit,
+		derived: make(map[*types.Var]bool),
+		shared:  make(map[*types.Var]bool),
+		params:  make(map[*types.Var]bool),
+	}
+	// Seed the derived set with the three shard parameters.
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				c.derived[v] = true
+				c.params[v] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if st, ok := n.(ast.Stmt); ok && dirs.At(st.Pos(), analysis.DirShardOK) {
+			c.ok = append(c.ok, span{st.Pos(), st.End()})
+		}
+		return true
+	})
+	c.classifyLocals()
+	c.checkWrites()
+}
+
+// captured reports whether v is defined outside the literal (enclosing
+// locals, parameters, package state): shared across workers unless
+// accessed through a disciplined index.
+func (c *checker) captured(v *types.Var) bool {
+	if v.IsField() {
+		return false // fields are judged through their access path's base
+	}
+	return v.Pos() < c.lit.Pos() || v.Pos() >= c.lit.End()
+}
+
+// classifyLocals runs a small fixpoint over the literal's assignments:
+//
+//   - a local joins derived when every value assigned to it references
+//     at least one derived variable and nothing non-derived (u := lo;
+//     u2 := u + 1); a constant init (i := 0) stays underived;
+//   - a local of reference type joins shared when it aliases captured
+//     state taken without a worker/span index (rows := e.rows); an
+//     alias taken through a derived index stays worker-owned
+//     (bw := e.workers[w]).
+func (c *checker) classifyLocals() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(c.lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := c.varOf(id)
+				if v == nil || c.captured(v) {
+					continue
+				}
+				if !c.derived[v] && c.isDerivedExpr(as.Rhs[i]) {
+					c.derived[v] = true
+					changed = true
+				}
+				if !c.shared[v] && c.isSharedAlias(as.Rhs[i]) {
+					c.shared[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	// Poison pass: a "derived" local that is also assigned something
+	// non-derived anywhere cannot be trusted as an index.
+	ast.Inspect(c.lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := c.varOf(id)
+			// The (w, lo, hi) parameters themselves are never
+			// poisoned: reassigning them from non-derived values is
+			// pathological and out of scope.
+			if v == nil || c.captured(v) || !c.derived[v] || c.params[v] {
+				continue
+			}
+			if !c.isDerivedExpr(as.Rhs[i]) {
+				delete(c.derived, v)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isDerivedExpr reports whether e references at least one derived
+// variable and no underived ones — the shape of an index that stays
+// inside the shard's span or worker slot.
+func (c *checker) isDerivedExpr(e ast.Expr) bool {
+	some, all := false, true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if c.derived[v] {
+			some = true
+		} else {
+			all = false
+		}
+		return true
+	})
+	return some && all
+}
+
+// mentionsDerived reports whether e references any derived variable —
+// the weaker test index expressions use (slots[lo/span] divides a
+// span coordinate by a captured constant and is still span-disjoint).
+func (c *checker) mentionsDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok && c.derived[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSharedAlias reports whether e aliases captured reference state
+// without a derived index: assigning it to a local makes that local
+// shared too.
+func (c *checker) isSharedAlias(e ast.Expr) bool {
+	if !isRefType(c.pass.TypesInfo.Types[e].Type) {
+		return false
+	}
+	// An alias taken through a derived index (e.workers[w],
+	// rows[u]) is worker-owned.
+	base, hasDerivedIdx := c.pathBase(e)
+	if base == nil || hasDerivedIdx {
+		return false
+	}
+	return c.captured(base) || c.shared[base]
+}
+
+// pathBase unwraps an access path (selectors, indexes, stars, parens)
+// to its base variable, reporting whether any index step along the
+// way mentions a derived variable.
+func (c *checker) pathBase(e ast.Expr) (*types.Var, bool) {
+	hasDerived := false
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if c.mentionsDerived(x.Index) {
+				hasDerived = true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			if x.Low != nil && c.mentionsDerived(x.Low) || x.High != nil && c.mentionsDerived(x.High) {
+				hasDerived = true
+			}
+			e = x.X
+		case *ast.Ident:
+			v := c.varOf(x)
+			return v, hasDerived
+		default:
+			return nil, hasDerived
+		}
+	}
+}
+
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func (c *checker) exempt(pos token.Pos) bool {
+	for _, s := range c.ok {
+		if s.pos <= pos && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWrites flags every assignment or inc/dec whose target reaches
+// captured (or captured-aliased) state without a derived index step.
+func (c *checker) checkWrites() {
+	ast.Inspect(c.lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkTarget(n.X)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkTarget(target ast.Expr) {
+	if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		v := c.varOf(id)
+		if v == nil || !c.captured(v) {
+			return // rebinding a local is worker-private
+		}
+		if c.exempt(target.Pos()) {
+			return
+		}
+		c.pass.Reportf(target.Pos(),
+			"shard body writes captured variable %s: racy across workers; use a worker-indexed slot, a span-derived index, or sync/atomic (//remspan:shardok exempts an audited write)", id.Name)
+		return
+	}
+	base, hasDerivedIdx := c.pathBase(target)
+	if base == nil || hasDerivedIdx {
+		return
+	}
+	if !c.captured(base) && !c.shared[base] {
+		return
+	}
+	if c.exempt(target.Pos()) {
+		return
+	}
+	what := "captured state"
+	if c.shared[base] {
+		what = "an alias of captured state"
+	}
+	c.pass.Reportf(target.Pos(),
+		"shard body writes %s through %s without a worker-index or shard-span-derived index: racy across workers (//remspan:shardok exempts an audited write)", what, base.Name())
+}

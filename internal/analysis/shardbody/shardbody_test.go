@@ -1,0 +1,12 @@
+package shardbody_test
+
+import (
+	"testing"
+
+	"remspan/internal/analysis/analysistest"
+	"remspan/internal/analysis/shardbody"
+)
+
+func TestShardBody(t *testing.T) {
+	analysistest.Run(t, shardbody.Analyzer, "testdata/src/a")
+}

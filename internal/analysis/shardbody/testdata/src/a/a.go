@@ -1,0 +1,86 @@
+// Package a exercises shardbody against a structural mimic of the
+// sched API (the analyzer matches Run/RunSpan/Map by method name and
+// body shape, so the corpus needs no import of the real scheduler).
+package a
+
+import "sync/atomic"
+
+// Pool mimics sched.Pool.
+type Pool struct{}
+
+func (p *Pool) Run(items, width int, body func(w, lo, hi int))           {}
+func (p *Pool) RunSpan(items, width, span int, body func(w, lo, hi int)) {}
+
+// Reducer mimics sched.Reducer.
+type Reducer struct{}
+
+func (r *Reducer) Map(p *Pool, items, width int, body func(w, lo, hi int) int, fold func(int)) {
+}
+
+type env struct {
+	sizes   []int
+	workers []*slot
+	rows    []int
+	total   int
+}
+
+type slot struct {
+	n     int
+	local []int
+}
+
+func good(p *Pool, e *env, n, width int) {
+	var hits atomic.Int64
+	p.Run(n, width, func(w, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			e.sizes[u] = u * 2 // span-derived index
+		}
+		bw := e.workers[w] // worker-owned alias
+		bw.n++
+		bw.local = append(bw.local, w)
+		hits.Add(1) // atomics pass untouched
+		k := lo + 1
+		e.rows[k] = w // derived from lo
+	})
+}
+
+func goodSpanAlias(p *Pool, e *env, n, width, span int) {
+	p.RunSpan(n, width, span, func(w, lo, hi int) {
+		mine := e.rows[lo:hi] // span-sliced alias is shard-disjoint
+		for i := range mine {
+			mine[i] = w
+		}
+	})
+}
+
+func goodReducer(r *Reducer, p *Pool, e *env, n, width int) {
+	slots := make([]int, n)
+	span := 4
+	r.Map(p, n, width, func(w, lo, hi int) int {
+		slots[lo/span] = w // span-derived index through a captured divisor
+		return lo
+	}, func(x int) {})
+}
+
+func bad(p *Pool, e *env, n, width int) {
+	total := 0
+	i := 0
+	p.Run(n, width, func(w, lo, hi int) {
+		total += hi - lo // want "writes captured variable total"
+		e.total = w      // want "writes captured state through e"
+		e.rows[i] = w    // want "writes captured state through e"
+		i++              // want "writes captured variable i"
+		for j := range e.rows {
+			e.rows[j] = 0 // want "writes captured state through e"
+		}
+		rows := e.rows // shared alias, no worker/span index
+		rows[0] = 1    // want "writes an alias of captured state through rows"
+	})
+}
+
+func exempted(p *Pool, e *env, n, width int) {
+	p.Run(n, width, func(w, lo, hi int) {
+		//remspan:shardok corpus: single-writer scenario audited by hand
+		e.total = w
+	})
+}

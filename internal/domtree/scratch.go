@@ -68,7 +68,7 @@ func NewScratch(n int) *Scratch {
 // invalidate epochs captured earlier in the same call.
 func ensure(s *Scratch, n int) *Scratch {
 	if s == nil || s.n < n {
-		return NewScratch(n)
+		return NewScratch(n) //remspan:coldpath first-call/regrow fallback; steady state reuses the caller's scratch
 	}
 	if s.epoch >= 1<<31 {
 		for i := range s.stampA {
@@ -96,7 +96,7 @@ func (s *Scratch) nextEpoch() uint32 {
 // tree returns the pooled output tree reset to contain only root.
 func (s *Scratch) tree(root int) *graph.Tree {
 	if s.t == nil {
-		s.t = graph.NewTree(s.n, root)
+		s.t = graph.NewTree(s.n, root) //remspan:coldpath lazy first-call init; later roots reuse the pooled tree
 	} else {
 		s.t.Reset(root)
 	}

@@ -154,7 +154,7 @@ func (m *Maintainer) SetSnapshotPerChange(on bool) {
 // delta path, where the view was already patched in place).
 func (m *Maintainer) refresh() {
 	if m.snapshots {
-		m.view = graph.NewCSR(m.g)
+		m.view = graph.NewCSR(m.g) //remspan:coldpath snapshot-per-change ablation arm; the production delta path is a no-op here
 	}
 }
 
@@ -318,10 +318,10 @@ func (m *Maintainer) rebuildDirty() {
 		return
 	}
 	for len(m.workers) < width {
-		m.workers = append(m.workers, domtree.NewScratch(m.g.N()))
+		m.workers = append(m.workers, domtree.NewScratch(m.g.N())) //remspan:coldpath worker scratch warm-up, pool reused across batches
 	}
 	if m.rebuildBody == nil {
-		m.rebuildBody = m.rebuildShard
+		m.rebuildBody = m.rebuildShard //remspan:coldpath one-time method-value binding, cached across batches
 	}
 	m.roots = roots
 	// Tree rebuilds are heavy items (a bounded BFS each), so shards

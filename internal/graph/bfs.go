@@ -132,7 +132,7 @@ func (s *BFSScratch) BoundedView(c View, src, maxDist int) (dist, parent, visite
 // ResetUnion starts a new (empty) accumulated union of bounded sweeps.
 func (s *BFSScratch) ResetUnion() {
 	if s.unionMark == nil {
-		s.unionMark = make([]uint32, len(s.dist))
+		s.unionMark = make([]uint32, len(s.dist)) //remspan:coldpath lazy first-use init of the union stamp array
 	}
 	// Epoch wrap: re-zero at a boundary where no live epochs exist (the
 	// same scheme as domtree.Scratch).

@@ -81,7 +81,7 @@ func (d *CSRDelta) own(u int) []int32 {
 		return r
 	}
 	b := d.base.Neighbors(u)
-	r := make([]int32, len(b), len(b)+4)
+	r := make([]int32, len(b), len(b)+4) //remspan:coldpath copy-on-write row materialization, once per touched row per delta window
 	copy(r, b)
 	d.over[u] = r
 	return r

@@ -10,7 +10,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Graph is a simple undirected graph over vertices 0..n-1.
@@ -70,14 +69,32 @@ func (g *Graph) check(u int) {
 	}
 }
 
+// searchGE returns the least index i with s[i] >= v (len(s) if none).
+// It is sort.Search with the predicate open-coded: the closure form
+// captures s and allocates, which the edge-maintenance hot paths
+// (AddEdge/RemoveEdge/HasEdge under dynamic update batches) cannot
+// afford.
+func searchGE(s []int32, v int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // insertSorted inserts v into the sorted slice s if absent, reporting
 // whether an insertion happened.
 func insertSorted(s []int32, v int32) ([]int32, bool) {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := searchGE(s, v)
 	if i < len(s) && s[i] == v {
 		return s, false
 	}
-	s = append(s, 0)
+	s = append(s, 0) //remspan:coldpath amortized adjacency growth on edge insert
 	copy(s[i+1:], s[i:])
 	s[i] = v
 	return s, true
@@ -116,7 +133,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 }
 
 func removeSorted(s []int32, v int32) []int32 {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	i := searchGE(s, v)
 	copy(s[i:], s[i+1:])
 	return s[:len(s)-1]
 }
@@ -129,7 +146,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 		return false
 	}
 	s := g.adj[u]
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= int32(v) })
+	i := searchGE(s, int32(v))
 	return i < len(s) && s[i] == int32(v)
 }
 

@@ -320,7 +320,7 @@ func (st *Store) takeEpoch() *Epoch {
 		st.epPool = st.epPool[:k-1]
 		return ep
 	}
-	return &Epoch{tables: make([]Table, st.n)}
+	return &Epoch{tables: make([]Table, st.n)} //remspan:coldpath pool miss; reclaim refills epPool in steady state
 }
 
 func (st *Store) takeRow() []int32 {
@@ -329,7 +329,7 @@ func (st *Store) takeRow() []int32 {
 		st.rowPool = st.rowPool[:k-1]
 		return r
 	}
-	return make([]int32, st.n)
+	return make([]int32, st.n) //remspan:coldpath pool miss; reclaim refills rowPool in steady state
 }
 
 func (st *Store) takeRows() [][]int32 {
@@ -338,7 +338,7 @@ func (st *Store) takeRows() [][]int32 {
 		st.rowsPool = st.rowsPool[:k-1]
 		return r
 	}
-	return make([][]int32, 0, 128)
+	return make([][]int32, 0, 128) //remspan:coldpath pool miss; reclaim refills rowsPool in steady state
 }
 
 // Reader is one goroutine's lock-free handle on the store. Each

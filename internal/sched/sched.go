@@ -186,6 +186,7 @@ func (p *Pool) RunSpan(items, width, span int, body func(w, lo, hi int)) {
 	}
 	p.mu.Lock()
 	p.body, p.items, p.span, p.width = body, items, span, width
+	//remspan:coldpath cursor arrays grow to the widest width seen, then are reused
 	if cap(p.cursors) < width {
 		p.cursors = make([]cursor, width)
 		p.blockEnd = make([]int64, width)
@@ -196,6 +197,7 @@ func (p *Pool) RunSpan(items, width, span int, body func(w, lo, hi int)) {
 		p.cursors[w].pos.Store(int64(w * shards / width))
 		p.blockEnd[w] = int64((w + 1) * shards / width)
 	}
+	//remspan:coldpath helper goroutines spawn once per pool lifetime, then park between runs
 	for len(p.wake) < width-1 {
 		id := len(p.wake) + 1
 		ch := make(chan struct{}, 1)
